@@ -1,0 +1,77 @@
+// §5 extension: AF2Complex-style protein-complex screening.
+//
+// Paper: "The prediction of accurate protein complex structures at scale
+// is an exciting new possibility especially relevant to HPC computing
+// due to a quadratic (or higher) order dependence on the number of
+// protein sequences." This bench (a) screens a small interactome and
+// shows the interface-score head separating binders from non-binders,
+// and (b) projects the quadratic Summit cost of all-vs-all screening.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fold/complex.hpp"
+#include "sim/cluster.hpp"
+#include "sim/cost_model.hpp"
+#include "util/stats.hpp"
+
+using namespace sf;
+
+int main() {
+  sfbench::print_header(
+      "§5 extension -- AF2Complex: complex screening at scale",
+      "interface scores separate true binders from non-binders; all-vs-all "
+      "screening cost grows quadratically with proteome size");
+
+  // A small screening study with ground truth.
+  SpeciesProfile profile = species_d_vulgaris();
+  profile.length_max = 300;
+  const auto records =
+      ProteomeGenerator(sfbench::world_universe(), profile, 31).generate(24);
+  const ComplexEngine engine(sfbench::world_universe());
+  const Interactome net(records, 0.12, 17);
+
+  SampleSet binder, nonbinder;
+  int screened = 0, oom = 0;
+  int true_pos = 0, false_pos = 0, positives = 0;
+  const double iscore_cutoff = 0.35;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (std::size_t j = i + 1; j < records.size(); ++j) {
+      const auto pred = engine.predict_pair(records[i], records[j], net, i, j,
+                                            preset_reduced_db());
+      if (pred.out_of_memory) {
+        ++oom;
+        continue;
+      }
+      ++screened;
+      (pred.truly_interacting ? binder : nonbinder).add(pred.interface_score);
+      if (pred.interface_score >= iscore_cutoff) {
+        ++positives;
+        if (pred.truly_interacting) ++true_pos;
+        else ++false_pos;
+      }
+    }
+  }
+  std::printf("screened %d pairs (%d OOM on standard-node memory)\n", screened, oom);
+  std::printf("interface score: binders %.2f +/- %.2f (n=%zu)  |  non-binders %.2f +/- %.2f (n=%zu)\n",
+              binder.mean(), binder.stddev(), binder.count(), nonbinder.mean(),
+              nonbinder.stddev(), nonbinder.count());
+  std::printf("calls at iScore >= %.2f: %d, of which %d correct (%d false)\n\n", iscore_cutoff,
+              positives, true_pos, false_pos);
+
+  // Quadratic cost projection on Summit.
+  const InferenceCostModel cost;
+  std::printf("all-vs-all screening cost projection (genome preset, mean 350 AA pairs):\n");
+  std::printf("%10s | %14s | %18s | %s\n", "proteins", "pair tasks", "Summit node-hours",
+              "vs whole-machine-day");
+  const double per_pair_s = cost.task_seconds(700, 4, 1);  // combined-length task
+  for (std::size_t n : {100u, 1000u, 3205u, 25134u}) {
+    const double tasks = static_cast<double>(complex_screen_tasks(n));
+    const double node_hours = tasks * per_pair_s / 3600.0 / summit().gpus_per_node;
+    std::printf("%10zu | %14.3g | %18.3g | %.2fx\n", n, tasks, node_hours,
+                node_hours / (4600.0 * 24.0));
+  }
+  std::printf("\n[the monomer campaign for all four proteomes cost < 4,000 node-hours;\n");
+  std::printf(" naive all-vs-all complex screening of one plant proteome alone would cost\n");
+  std::printf(" orders of magnitude more -- the quadratic wall the paper's conclusion flags]\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared setup for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints paper-vs-measured rows. A common world (fold universe + seeds)
+// keeps results comparable across benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bio/fold_grammar.hpp"
+#include "bio/proteome.hpp"
+#include "bio/species.hpp"
+
+namespace sfbench {
+
+inline constexpr std::uint64_t kWorldSeed = 2022;
+inline constexpr std::size_t kUniverseFolds = 600;
+
+inline const sf::FoldUniverse& world_universe() {
+  static const sf::FoldUniverse universe(kUniverseFolds, 11);
+  return universe;
+}
+
+inline std::vector<sf::ProteinRecord> make_proteome(const sf::SpeciesProfile& profile,
+                                                    int count = 0) {
+  sf::ProteomeGenerator gen(world_universe(), profile, kWorldSeed);
+  return gen.generate(count);
+}
+
+inline void print_header(const char* id, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace sfbench

@@ -1,0 +1,105 @@
+// Fig. 3 + §4.4: relaxation preserves structure while removing violations.
+//
+// Paper: on CASP14 targets, TM-score and SPECS-score of relaxed models
+// correlate strongly with the unrelaxed models (no decreases; slight
+// SPECS gains at the high end); all three methods (AF2 original, our
+// CPU, our GPU -- same minimization physics) recover equivalent quality.
+// Violations on the 160-model set: clashes 0.22 +/- 1.09 (max 8) -> 0 for
+// every method; bumps 3.76 +/- 12.74 (max 148) -> ~2-3 on average.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fold/engine.hpp"
+#include "fold/presets.hpp"
+#include "relax/protocol.hpp"
+#include "score/specs_score.hpp"
+#include "score/tm_score.hpp"
+#include "seqsearch/feature_model.hpp"
+#include "util/stats.hpp"
+
+using namespace sf;
+
+int main() {
+  sfbench::print_header(
+      "FIGURE 3 + §4.4 -- relaxation fidelity on the CASP14-like set",
+      "relaxed-vs-unrelaxed TM/SPECS correlate ~perfectly; clashes fully "
+      "removed, bumps reduced; both protocols equivalent in quality");
+
+  const auto targets = sfbench::make_proteome(casp14_profile());
+  const FoldingEngine engine(sfbench::world_universe());
+  const PresetConfig preset = preset_genome();
+
+  std::vector<double> tm_before, tm_single, tm_af2;
+  std::vector<double> specs_before, specs_single, specs_af2;
+  RunningStats clashes_before, clashes_single, clashes_af2;
+  RunningStats bumps_before, bumps_single, bumps_af2;
+  std::size_t max_bumps_before = 0, max_bumps_single = 0, max_clashes_before = 0;
+  int models_processed = 0;
+
+  for (const auto& rec : targets) {
+    const auto feats = sample_features(rec, LibraryKind::kReduced);
+    const auto preds = engine.predict_all_models(rec, feats, preset);  // 32 x 5 = 160 models
+    const Structure native = build_native_structure(sfbench::world_universe(), rec);
+    for (const auto& pred : preds) {
+      if (pred.out_of_memory) continue;
+      ++models_processed;
+
+      const auto ours = relax_single_pass(pred.structure);
+      const auto af2 = relax_af2_loop(pred.structure);
+
+      tm_before.push_back(tm_score(pred.structure, native).tm_score);
+      tm_single.push_back(tm_score(ours.relaxed, native).tm_score);
+      tm_af2.push_back(tm_score(af2.relaxed, native).tm_score);
+      specs_before.push_back(specs_score(pred.structure, native).specs);
+      specs_single.push_back(specs_score(ours.relaxed, native).specs);
+      specs_af2.push_back(specs_score(af2.relaxed, native).specs);
+
+      clashes_before.add(ours.violations_before.clashes);
+      clashes_single.add(ours.violations_after.clashes);
+      clashes_af2.add(af2.violations_after.clashes);
+      bumps_before.add(ours.violations_before.bumps);
+      bumps_single.add(ours.violations_after.bumps);
+      bumps_af2.add(af2.violations_after.bumps);
+      max_bumps_before = std::max(max_bumps_before, ours.violations_before.bumps);
+      max_bumps_single = std::max(max_bumps_single, ours.violations_after.bumps);
+      max_clashes_before = std::max(max_clashes_before, ours.violations_before.clashes);
+    }
+  }
+
+  std::printf("models relaxed: %d   [paper: 160]\n\n", models_processed);
+
+  std::printf("Fig. 3 correlations (relaxed vs unrelaxed):\n");
+  std::printf("  TM-score   single-pass r = %.4f | AF2-loop r = %.4f   [paper: 'strong correlation']\n",
+              pearson(tm_before, tm_single), pearson(tm_before, tm_af2));
+  std::printf("  SPECS      single-pass r = %.4f | AF2-loop r = %.4f\n",
+              pearson(specs_before, specs_single), pearson(specs_before, specs_af2));
+
+  // "importantly, no decreases in these metrics are seen"
+  int tm_drops = 0;
+  int specs_gain_high = 0, high_count = 0;
+  for (std::size_t i = 0; i < tm_before.size(); ++i) {
+    if (tm_single[i] < tm_before[i] - 0.02) ++tm_drops;
+    if (specs_before[i] > 0.7) {
+      ++high_count;
+      if (specs_single[i] > specs_before[i]) ++specs_gain_high;
+    }
+  }
+  std::printf("  models with TM drop > 0.02 after relaxation: %d of %zu   [paper: none]\n",
+              tm_drops, tm_before.size());
+  if (high_count > 0) {
+    std::printf("  high-SPECS models improving after relaxation: %d of %d   [paper: slight gains at the high end]\n",
+                specs_gain_high, high_count);
+  }
+
+  std::printf("\n§4.4 violation statistics (mean +/- sd, max):\n");
+  std::printf("  %-22s clashes %.2f +/- %.2f (max %zu)   bumps %.2f +/- %.2f (max %zu)\n",
+              "unrelaxed", clashes_before.mean(), clashes_before.stddev(), max_clashes_before,
+              bumps_before.mean(), bumps_before.stddev(), max_bumps_before);
+  std::printf("  %-22s clashes %.2f (paper 0)            bumps %.2f +/- %.2f (max %zu, paper ~2.7)\n",
+              "single-pass (ours)", clashes_single.mean(), bumps_single.mean(),
+              bumps_single.stddev(), max_bumps_single);
+  std::printf("  %-22s clashes %.2f (paper 0)            bumps %.2f +/- %.2f        (paper ~2.1)\n",
+              "AF2 violation loop", clashes_af2.mean(), bumps_af2.mean(), bumps_af2.stddev());
+  std::printf("  [paper unrelaxed: clashes 0.22 +/- 1.09 max 8; bumps 3.76 +/- 12.74 max 148]\n");
+  return 0;
+}

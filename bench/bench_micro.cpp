@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark) for the hot primitives under the
+// reproduction: superposition, scoring, alignment, search, simulation.
+#include <benchmark/benchmark.h>
+
+#include "bio/fold_grammar.hpp"
+#include "geom/backbone.hpp"
+#include "geom/distogram.hpp"
+#include "geom/kabsch.hpp"
+#include "geom/violations.hpp"
+#include "relax/forcefield.hpp"
+#include "relax/minimize.hpp"
+#include "score/lddt.hpp"
+#include "score/tm_score.hpp"
+#include "seqsearch/alignment.hpp"
+#include "seqsearch/kmer_index.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace sf;
+
+std::vector<Vec3> bench_trace(int n, unsigned seed = 5) {
+  Rng rng(seed);
+  std::string ss;
+  for (int i = 0; i < n; ++i) ss += (i / 12) % 2 ? 'H' : 'E';
+  return build_ca_trace(ss, rng);
+}
+
+std::vector<Vec3> noisy(const std::vector<Vec3>& pts, double sigma, unsigned seed) {
+  Rng rng(seed);
+  auto out = pts;
+  for (auto& p : out) {
+    p += Vec3{rng.normal(0, sigma), rng.normal(0, sigma), rng.normal(0, sigma)};
+  }
+  return out;
+}
+
+void BM_Kabsch(benchmark::State& state) {
+  const auto a = bench_trace(static_cast<int>(state.range(0)));
+  const auto b = noisy(a, 1.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kabsch(a, b).rmsd);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Kabsch)->Arg(64)->Arg(256)->Arg(1024)->Complexity(benchmark::oN);
+
+void BM_TmScore(benchmark::State& state) {
+  const auto a = bench_trace(static_cast<int>(state.range(0)));
+  const auto b = noisy(a, 2.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm_score(b, a).tm_score);
+  }
+}
+BENCHMARK(BM_TmScore)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Lddt(benchmark::State& state) {
+  const auto a = bench_trace(static_cast<int>(state.range(0)));
+  const auto b = noisy(a, 2.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lddt(b, a).global);
+  }
+}
+BENCHMARK(BM_Lddt)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Distogram(benchmark::State& state) {
+  const auto a = bench_trace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Distogram d(a);
+    benchmark::DoNotOptimize(d.bin(0, 1));
+  }
+}
+BENCHMARK(BM_Distogram)->Arg(128)->Arg(512);
+
+void BM_Violations(benchmark::State& state) {
+  const auto a = bench_trace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_violations(a).bumps);
+  }
+}
+BENCHMARK(BM_Violations)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_SmithWaterman(benchmark::State& state) {
+  Rng rng(3);
+  const FoldSpec fold = sample_fold(rng, static_cast<int>(state.range(0)));
+  const std::string a = sample_sequence_for_ss(render_ss(fold, state.range(0)), rng);
+  Rng h(5);
+  const std::string b = homolog_sequence(fold, a, state.range(0), state.range(0), 0.5, h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smith_waterman(a, b).score);
+  }
+}
+BENCHMARK(BM_SmithWaterman)->Arg(128)->Arg(512);
+
+void BM_BandedSW(benchmark::State& state) {
+  Rng rng(3);
+  const FoldSpec fold = sample_fold(rng, static_cast<int>(state.range(0)));
+  const std::string a = sample_sequence_for_ss(render_ss(fold, state.range(0)), rng);
+  Rng h(5);
+  const std::string b = homolog_sequence(fold, a, state.range(0), state.range(0), 0.5, h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(banded_smith_waterman(a, b, 0, 32).score);
+  }
+}
+BENCHMARK(BM_BandedSW)->Arg(128)->Arg(512);
+
+void BM_KmerQuery(benchmark::State& state) {
+  Rng rng(3);
+  KmerIndex index(5);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 500; ++i) {
+    const FoldSpec fold = sample_fold(rng, 200);
+    seqs.push_back(sample_sequence_for_ss(render_ss(fold, 200), rng));
+    index.add_sequence(seqs.back());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query(seqs[42]).size());
+  }
+}
+BENCHMARK(BM_KmerQuery);
+
+void BM_MinimizeStep(benchmark::State& state) {
+  Rng rng(3);
+  const FoldSpec fold = sample_fold(rng, static_cast<int>(state.range(0)));
+  const std::string seq = sample_sequence_for_ss(render_ss(fold, state.range(0)), rng);
+  const Structure s = build_fold_structure("b", fold, seq, 0.4, 9);
+  const ForceField ff(s);
+  const auto coords = s.all_atom_coords();
+  std::vector<Vec3> grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ff.energy_and_gradient(coords, grad));
+  }
+}
+BENCHMARK(BM_MinimizeStep)->Arg(100)->Arg(400);
+
+void BM_FullMinimize(benchmark::State& state) {
+  Rng rng(3);
+  const FoldSpec fold = sample_fold(rng, 150);
+  const std::string seq = sample_sequence_for_ss(render_ss(fold, 150), rng);
+  const Structure s = build_fold_structure("b", fold, seq, 0.4, 9);
+  const ForceField ff(s);
+  for (auto _ : state) {
+    auto coords = s.all_atom_coords();
+    benchmark::DoNotOptimize(minimize_lbfgs(ff, coords).final_energy);
+  }
+}
+BENCHMARK(BM_FullMinimize);
+
+void BM_EventEngine(benchmark::State& state) {
+  for (auto _ : state) {
+    SimEngine engine;
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.schedule_at(static_cast<double>(i % 100), [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventEngine);
+
+void BM_ThreadPoolThroughput(benchmark::State& state) {
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(counter.load());
+  }
+}
+BENCHMARK(BM_ThreadPoolThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// §5 discussion: queue policies and the wall-time vs node-hours paradox.
+//
+// Paper: "while the CPU-based feature-generation step required fewer
+// total node hours than the model inference step, the total wall times
+// were higher, due to the fact that Andes ... does not contain as many
+// nodes as Summit and that the queue policies for Andes favor small,
+// long jobs rather than large, shorter jobs as is the case on Summit."
+// Also renders the paper's three-jsrun LSF launch (§3.3) as a checked
+// artifact.
+#include <cstdio>
+#include <tuple>
+
+#include "bench_common.hpp"
+#include "sim/batch.hpp"
+#include "sim/cluster.hpp"
+#include "sim/jsrun.hpp"
+#include "util/string_util.hpp"
+
+using namespace sf;
+
+int main() {
+  sfbench::print_header(
+      "§5 -- batch-queue policies: fewer node-hours, longer wall time",
+      "feature generation on the small small-job-friendly Andes queue takes "
+      "longer wall time than inference on Summit despite fewer node-hours");
+
+  // The campaign's jobs: feature generation split into 24 x 4-node jobs
+  // (one per library replica); inference as one 32-node leadership job.
+  // Features: 24 x 4-node x 2.5 h = 240 node-hours (the paper's number)
+  // on an Andes partition too small to run them all at once. Inference:
+  // two 200-node 1 h submissions = 400 node-hours, which Summit hosts
+  // concurrently.
+  std::vector<BatchJob> feature_jobs;
+  for (int i = 0; i < 24; ++i) feature_jobs.push_back({"features", 4, 2.5 * 3600.0, 0.0});
+  std::vector<BatchJob> inference_jobs;
+  for (int i = 0; i < 2; ++i) inference_jobs.push_back({"inference", 200, 3600.0, 0.0});
+
+  // Competing load typical for each machine.
+  std::vector<BatchJob> andes_queue = feature_jobs;
+  for (int i = 0; i < 40; ++i) andes_queue.push_back({"other_analysis", 8, 6.0 * 3600.0, 0.0});
+  std::vector<BatchJob> summit_queue = inference_jobs;
+  for (int i = 0; i < 10; ++i) summit_queue.push_back({"other_leadership", 512, 2.0 * 3600.0, 0.0});
+
+  BatchScheduler andes_sched(60, QueuePolicy::kSmallJobPriority);
+  BatchScheduler summit_sched(4600, QueuePolicy::kLargeJobPriority);
+
+  const auto andes_out = andes_sched.schedule(andes_queue);
+  const auto summit_out = summit_sched.schedule(summit_queue);
+
+  auto campaign_stats = [](const std::vector<ScheduledJob>& sched, const char* name) {
+    double makespan = 0.0, node_s = 0.0, queue_wait = 0.0;
+    int jobs = 0;
+    for (const auto& s : sched) {
+      if (s.job.name != name) continue;
+      ++jobs;
+      makespan = std::max(makespan, s.end_s);
+      node_s += s.job.nodes * (s.end_s - s.start_s);
+      queue_wait = std::max(queue_wait, s.queue_wait_s());
+    }
+    return std::tuple<double, double, double, int>(makespan, node_s / 3600.0, queue_wait, jobs);
+  };
+
+  const auto [feat_wall, feat_nh, feat_wait, feat_jobs_n] =
+      campaign_stats(andes_out, "features");
+  const auto [inf_wall, inf_nh, inf_wait, inf_jobs_n] =
+      campaign_stats(summit_out, "inference");
+
+  std::printf("%-22s | %-11s | %-11s | %-11s | %s\n", "stage", "jobs", "wall", "node-hours",
+              "max queue wait");
+  std::printf("%-22s | %-11d | %-11s | %-11.0f | %s\n", "features (Andes)", feat_jobs_n,
+              human_duration(feat_wall).c_str(), feat_nh, human_duration(feat_wait).c_str());
+  std::printf("%-22s | %-11d | %-11s | %-11.0f | %s\n", "inference (Summit)", inf_jobs_n,
+              human_duration(inf_wall).c_str(), inf_nh, human_duration(inf_wait).c_str());
+  std::printf("\n-> %s node-hours but %s wall time for the CPU stage   [paper §5's paradox]\n\n",
+              feat_nh < inf_nh ? "FEWER" : "more", feat_wall > inf_wall ? "LONGER" : "shorter");
+
+  // The launch recipe itself, validated against Summit's node shape.
+  const LaunchPlan plan = paper_inference_launch(32);
+  std::string error;
+  std::printf("paper launch layout (32 nodes): %s\n",
+              plan.fits(summit(), &error) ? "fits Summit" : error.c_str());
+  std::printf("%s\n", plan.lsf_script(summit()).c_str());
+  return 0;
+}

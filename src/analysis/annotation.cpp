@@ -1,0 +1,49 @@
+#include "analysis/annotation.hpp"
+
+#include "fold/presets.hpp"
+#include "seqsearch/feature_model.hpp"
+
+namespace sf {
+
+AnnotationSummary annotate_hypotheticals(const FoldingEngine& engine,
+                                         const FoldLibrary& library,
+                                         const std::vector<ProteinRecord>& hypotheticals,
+                                         const AnnotationParams& params) {
+  AnnotationSummary summary;
+  const PresetConfig preset = preset_genome();
+  for (const auto& rec : hypotheticals) {
+    const InputFeatures features = sample_features(rec, LibraryKind::kReduced);
+    const auto preds = engine.predict_all_models(rec, features, preset);
+    const int top = top_model_index(preds);
+    if (top < 0) continue;
+    const Prediction& best = preds[static_cast<std::size_t>(top)];
+
+    AnnotationOutcome out;
+    out.target_id = rec.sequence.id();
+    out.plddt = best.plddt;
+
+    const auto hits = library.search(best.structure, params.shortlist, params.align);
+    if (!hits.empty()) {
+      out.top_tm = hits.front().tm_query;
+      out.top_seq_identity = hits.front().aligned_seq_identity;
+      out.matched_annotation = hits.front().annotation;
+      out.match_correct = hits.front().fold_index == rec.fold_index;
+    }
+
+    ++summary.total;
+    if (out.top_tm >= params.tm_cutoff) {
+      ++summary.structural_match;
+      if (out.top_seq_identity < 0.20) ++summary.match_below_20_identity;
+      if (out.top_seq_identity < 0.10) ++summary.match_below_10_identity;
+      if (out.match_correct) ++summary.correct_fold_matches;
+    } else if (out.plddt >= params.novel_plddt_cutoff &&
+               out.top_tm < params.novel_tm_cutoff) {
+      out.novel_candidate = true;
+      ++summary.novel_candidates;
+    }
+    summary.outcomes.push_back(std::move(out));
+  }
+  return summary;
+}
+
+}  // namespace sf

@@ -1,0 +1,207 @@
+#include "analysis/struct_align.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/kabsch.hpp"
+#include "score/tm_score.hpp"
+
+namespace sf {
+
+namespace {
+
+// Needleman-Wunsch over a dense similarity matrix with linear gaps;
+// returns the monotone correspondence maximizing total similarity.
+std::vector<std::pair<int, int>> dp_align(const std::vector<double>& sim, int n, int m,
+                                          double gap) {
+  std::vector<double> h(static_cast<std::size_t>(n + 1) * (m + 1), 0.0);
+  std::vector<std::uint8_t> tb(static_cast<std::size_t>(n + 1) * (m + 1), 0);
+  const auto at = [m](int i, int j) {
+    return static_cast<std::size_t>(i) * (m + 1) + static_cast<std::size_t>(j);
+  };
+  // Boundary rows stay 0: end gaps are free (glocal alignment), as in
+  // TM-align's DP phase.
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const double diag =
+          h[at(i - 1, j - 1)] + sim[static_cast<std::size_t>(i - 1) * m + (j - 1)];
+      const double up = h[at(i - 1, j)] - gap;
+      const double left = h[at(i, j - 1)] - gap;
+      double best = diag;
+      std::uint8_t dir = 1;
+      if (up > best) {
+        best = up;
+        dir = 2;
+      }
+      if (left > best) {
+        best = left;
+        dir = 3;
+      }
+      h[at(i, j)] = best;
+      tb[at(i, j)] = dir;
+    }
+  }
+  std::vector<std::pair<int, int>> pairs;
+  int i = n;
+  int j = m;
+  while (i > 0 && j > 0) {
+    const std::uint8_t dir = tb[at(i, j)];
+    if (dir == 1) {
+      pairs.emplace_back(i - 1, j - 1);
+      --i;
+      --j;
+    } else if (dir == 2) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+double tm_from_pairs(const std::vector<Vec3>& q, const std::vector<Vec3>& t,
+                     const std::vector<std::pair<int, int>>& pairs, std::size_t norm,
+                     const Superposition& sp) {
+  const double d0 = tm_d0(norm);
+  double score = 0.0;
+  for (const auto& [qi, tj] : pairs) {
+    const double d2 =
+        distance2(sp.apply(q[static_cast<std::size_t>(qi)]), t[static_cast<std::size_t>(tj)]);
+    score += 1.0 / (1.0 + d2 / (d0 * d0));
+  }
+  return score / static_cast<double>(norm);
+}
+
+}  // namespace
+
+StructAlignResult struct_align_ca(const std::vector<Vec3>& query_ca,
+                                  const std::vector<Vec3>& target_ca,
+                                  const std::string& query_seq, const std::string& target_seq,
+                                  const StructAlignParams& params) {
+  StructAlignResult best;
+  const int n = static_cast<int>(query_ca.size());
+  const int m = static_cast<int>(target_ca.size());
+  if (n < 4 || m < 4) return best;
+
+  const double d0q = tm_d0(static_cast<std::size_t>(n));
+
+  // Phase 1 -- dense gapless-threading seeds, cheaply scored. For every
+  // (query anchor, target offset) fragment pair: superpose the fragments,
+  // then score the *whole* implied gapless register (i -> i + offset)
+  // under that transform in O(overlap). Density matters: d0 is small, so
+  // a register error of a few residues makes the true correspondence
+  // invisible to the DP; only the best seeds earn the expensive
+  // refinement.
+  const int frag = std::min({params.fragment_length, n, m});
+  struct ScoredSeed {
+    double threading_tm;
+    Superposition sp;
+  };
+  std::vector<ScoredSeed> scored_seeds;
+  {
+    const int q_anchors = std::clamp((n - frag) / std::max(1, frag / 2) + 1, 1, 5);
+    const int t_step = std::max(2, frag / 4);
+    for (int a = 0; a < q_anchors; ++a) {
+      const int qa = q_anchors > 1 ? (n - frag) * a / (q_anchors - 1) : 0;
+      for (int tb = 0; tb + frag <= m; tb += t_step) {
+        std::vector<Vec3> qf(query_ca.begin() + qa, query_ca.begin() + qa + frag);
+        std::vector<Vec3> tf(target_ca.begin() + tb, target_ca.begin() + tb + frag);
+        ScoredSeed seed;
+        seed.sp = kabsch(qf, tf);
+        // Gapless register implied by the fragment pair.
+        const int offset = tb - qa;
+        const int lo = std::max(0, -offset);
+        const int hi = std::min(n, m - offset);
+        double tm = 0.0;
+        for (int i = lo; i < hi; ++i) {
+          const double d2 = distance2(seed.sp.apply(query_ca[static_cast<std::size_t>(i)]),
+                                      target_ca[static_cast<std::size_t>(i + offset)]);
+          tm += 1.0 / (1.0 + d2 / (d0q * d0q));
+        }
+        seed.threading_tm = tm / static_cast<double>(n);
+        scored_seeds.push_back(std::move(seed));
+      }
+    }
+  }
+  std::sort(scored_seeds.begin(), scored_seeds.end(),
+            [](const ScoredSeed& a, const ScoredSeed& b) {
+              return a.threading_tm > b.threading_tm;
+            });
+  const std::size_t refine_count =
+      std::min<std::size_t>(scored_seeds.size(),
+                            static_cast<std::size_t>(std::max(1, params.max_seeds / 6)));
+
+  // Phase 2 -- iterative DP refinement of the best seeds.
+  std::vector<Superposition> seeds;
+  seeds.reserve(refine_count);
+  for (std::size_t i = 0; i < refine_count; ++i) seeds.push_back(scored_seeds[i].sp);
+
+  std::vector<double> sim(static_cast<std::size_t>(n) * m);
+  for (const auto& seed : seeds) {
+    Superposition sp = seed;
+    std::vector<std::pair<int, int>> pairs;
+    double prev_tm = -1.0;
+    for (int iter = 0; iter < params.max_iterations; ++iter) {
+      // Score matrix under the current transform.
+      for (int i = 0; i < n; ++i) {
+        const Vec3 qi = sp.apply(query_ca[static_cast<std::size_t>(i)]);
+        for (int j = 0; j < m; ++j) {
+          const double d2 = distance2(qi, target_ca[static_cast<std::size_t>(j)]);
+          sim[static_cast<std::size_t>(i) * m + j] = 1.0 / (1.0 + d2 / (d0q * d0q));
+        }
+      }
+      pairs = dp_align(sim, n, m, params.gap_penalty);
+      if (pairs.size() < 3) break;
+      // Re-superpose weighted by the TM kernel: well-fitting pairs steer
+      // the transform, badly-fitting ones barely perturb it, which lets
+      // the iteration walk into the right register from a rough seed.
+      std::vector<Vec3> qs;
+      std::vector<Vec3> ts;
+      std::vector<double> ws;
+      qs.reserve(pairs.size());
+      ts.reserve(pairs.size());
+      ws.reserve(pairs.size());
+      for (const auto& [qi, tj] : pairs) {
+        qs.push_back(query_ca[static_cast<std::size_t>(qi)]);
+        ts.push_back(target_ca[static_cast<std::size_t>(tj)]);
+        ws.push_back(sim[static_cast<std::size_t>(qi) * m + tj] + 0.02);
+      }
+      sp = kabsch_weighted(qs, ts, ws);
+      const double tm = tm_from_pairs(query_ca, target_ca, pairs, static_cast<std::size_t>(n), sp);
+      if (tm <= prev_tm + 1e-6) break;
+      prev_tm = tm;
+    }
+    if (pairs.size() < 3) continue;
+    const double tmq =
+        tm_from_pairs(query_ca, target_ca, pairs, static_cast<std::size_t>(n), sp);
+    if (tmq > best.tm_query) {
+      best.tm_query = tmq;
+      best.tm_target =
+          tm_from_pairs(query_ca, target_ca, pairs, static_cast<std::size_t>(m), sp);
+      best.pairs = pairs;
+      double s2 = 0.0;
+      std::size_t same = 0;
+      for (const auto& [qi, tj] : pairs) {
+        s2 += distance2(sp.apply(query_ca[static_cast<std::size_t>(qi)]),
+                        target_ca[static_cast<std::size_t>(tj)]);
+        if (qi < static_cast<int>(query_seq.size()) && tj < static_cast<int>(target_seq.size()) &&
+            query_seq[static_cast<std::size_t>(qi)] == target_seq[static_cast<std::size_t>(tj)]) {
+          ++same;
+        }
+      }
+      best.rmsd = std::sqrt(s2 / static_cast<double>(pairs.size()));
+      best.aligned_seq_identity =
+          pairs.empty() ? 0.0 : static_cast<double>(same) / static_cast<double>(pairs.size());
+    }
+  }
+  return best;
+}
+
+StructAlignResult struct_align(const Structure& query, const Structure& target,
+                               const StructAlignParams& params) {
+  return struct_align_ca(query.ca_coords(), target.ca_coords(), query.sequence_string(),
+                         target.sequence_string(), params);
+}
+
+}  // namespace sf

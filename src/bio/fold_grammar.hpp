@@ -1,0 +1,99 @@
+// The synthetic fold universe.
+//
+// The reproduction needs a world in which (a) every protein has a true
+// native structure, (b) homologous sequences genuinely exist in the
+// search libraries, with controllable sequence identity, and (c) some
+// folds are "novel" (absent from the PDB70-like fold library). A fold
+// here is a topology: an alternating list of secondary-structure elements
+// and loops plus a torsion seed; rendering a fold at a given length
+// scales the elements, and building it through geom::build_ca_trace with
+// the fold's seed yields a reproducible native structure. Homologs share
+// the fold (and hence the structure, up to mutational noise) while their
+// sequences diverge -- exactly the regime §4.6's structure-based
+// annotation experiment probes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "geom/structure.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+
+struct SSElement {
+  char type = 'C';  // 'H', 'E', or 'C'
+  int length = 0;
+};
+
+struct FoldSpec {
+  std::uint64_t fold_id = 0;
+  std::uint64_t torsion_seed = 0;
+  std::vector<SSElement> elements;
+
+  int base_length() const;
+};
+
+// Sample a plausible topology near `target_length`: a mix of helices
+// (5-25 res), strands (3-10 res) and loops (2-8 res), alpha/beta/mixed
+// classes chosen at random.
+FoldSpec sample_fold(Rng& rng, int target_length);
+
+// Render the fold's SS string at exactly `length` residues by scaling
+// element lengths proportionally (loops absorb rounding).
+std::string render_ss(const FoldSpec& fold, int length);
+
+// Sample a sequence whose residues are propensity-consistent with `ss`
+// (helix-formers in H runs, strand-formers in E runs, ...).
+std::string sample_sequence_for_ss(const std::string& ss, Rng& rng);
+
+// Derive a homolog sequence at approximately `identity` fractional
+// sequence identity to `parent`, aligned positionally: each position is
+// kept with probability `identity`, otherwise substituted with a
+// BLOSUM-weighted neighbor. Length changes are applied by re-rendering at
+// `length` first (element-proportional mapping).
+std::string homolog_sequence(const FoldSpec& fold, const std::string& parent_seq,
+                             int parent_length, int length, double identity, Rng& rng);
+
+// Build the native structure of a fold rendered at `length`, with the
+// fold's deterministic torsion stream; `noise_A` adds isotropic Gaussian
+// coordinate noise (used for divergent homolog structures).
+Structure build_fold_structure(const std::string& name, const FoldSpec& fold,
+                               const std::string& sequence, double noise_A = 0.0,
+                               std::uint64_t noise_seed = 0);
+
+// A catalog of folds with power-law family sizes and synthesized
+// functional annotations. Shared between the proteome generator and the
+// sequence/fold libraries so homology is consistent across the world.
+class FoldUniverse {
+ public:
+  FoldUniverse(std::size_t num_folds, std::uint64_t seed);
+
+  std::size_t size() const { return folds_.size(); }
+  const FoldSpec& fold(std::size_t idx) const { return folds_[idx]; }
+  const std::string& canonical_sequence(std::size_t idx) const { return canonical_seq_[idx]; }
+  const std::string& annotation(std::size_t idx) const { return annotations_[idx]; }
+  // Zipf-like family weight; larger families contribute more homologs to
+  // the libraries and more members to proteomes.
+  double family_weight(std::size_t idx) const { return weights_[idx]; }
+  // Draw a fold index proportional to family weight.
+  std::size_t sample_fold_index(Rng& rng) const;
+
+  // Draw a fold whose base length is within `tolerance` (fractional) of
+  // `target_length`, weighted by family weight; the window widens until
+  // candidates exist. Family members have lengths near their fold's
+  // canonical length, as in real protein families.
+  std::size_t sample_fold_index_near(Rng& rng, int target_length,
+                                     double tolerance = 0.15) const;
+
+ private:
+  std::vector<FoldSpec> folds_;
+  std::vector<std::string> canonical_seq_;
+  std::vector<std::string> annotations_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace sf

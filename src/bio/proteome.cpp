@@ -1,0 +1,100 @@
+#include "bio/proteome.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace sf {
+
+ProteomeGenerator::ProteomeGenerator(const FoldUniverse& universe, SpeciesProfile profile,
+                                     std::uint64_t seed)
+    : universe_(&universe), profile_(std::move(profile)), seed_(seed) {}
+
+std::vector<ProteinRecord> ProteomeGenerator::generate(int count) const {
+  const int n = count > 0 ? count : profile_.proteome_size;
+  std::vector<ProteinRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  Rng root(seed_, stable_hash64(profile_.short_name));
+  for (int i = 0; i < n; ++i) {
+    Rng rng = root.split(static_cast<std::uint64_t>(i));
+    ProteinRecord rec;
+    rec.record_seed = rng.next_u64();
+
+    const int length = static_cast<int>(std::clamp(
+        rng.lognormal(profile_.length_log_mu, profile_.length_log_sigma),
+        static_cast<double>(profile_.length_min), static_cast<double>(profile_.length_max)));
+    // Family members have lengths near their fold's canonical length, so
+    // pick the fold compatible with the drawn length.
+    rec.fold_index = universe_->sample_fold_index_near(rng, length);
+
+    const FoldSpec& fold = universe_->fold(rec.fold_index);
+    const std::string& parent = universe_->canonical_sequence(rec.fold_index);
+    rec.hypothetical = rng.chance(profile_.hypothetical_fraction);
+    // Annotated members are ordinary homologs of the family canonical;
+    // "hypothetical" proteins are the remote ones -- their sequences have
+    // diverged past what HMM annotation pipelines recover (§4.6: matches
+    // at < 20% / < 10% identity), which is exactly why they lack
+    // annotations.
+    const double identity =
+        rec.hypothetical ? std::clamp(rng.normal(0.16, 0.06), 0.05, 0.30)
+                         : std::clamp(rng.normal(0.55, 0.18), 0.15, 0.95);
+    const std::string residues =
+        homolog_sequence(fold, parent, fold.base_length(), length, identity, rng);
+    rec.sequence = Sequence(format("%s_%05d", profile_.short_name.c_str(), i), residues,
+                            profile_.name);
+
+    // Family size ~ fold family weight, discretized; hardness is anti-
+    // correlated with family size (few homologs -> shallow MSA -> hard).
+    const double w = universe_->family_weight(rec.fold_index);
+    rec.family_size = std::max(1, static_cast<int>(std::lround(
+                                      w * 4000.0 * rng.uniform(0.5, 1.5))));
+    const double family_ease = std::clamp(std::log10(static_cast<double>(rec.family_size)) / 3.5,
+                                          0.0, 1.0);
+    double hardness = rng.normal(profile_.hardness_mean, profile_.hardness_sd);
+    hardness += 0.35 * (0.5 - family_ease);
+    // Remote homologs have few close relatives: shallow MSAs make them
+    // harder targets, the same reason they lack annotations.
+    if (rec.hypothetical) hardness += 0.22;
+    rec.hardness = std::clamp(hardness, 0.0, 1.0);
+
+    rec.novel_fold = rng.chance(profile_.novel_fold_fraction);
+    if (!rec.hypothetical) rec.annotation = universe_->annotation(rec.fold_index);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Structure ProteomeGenerator::build_native(const ProteinRecord& rec) const {
+  return build_native_structure(*universe_, rec);
+}
+
+Structure build_native_structure(const FoldUniverse& universe, const ProteinRecord& rec) {
+  const FoldSpec& fold = universe.fold(rec.fold_index);
+  // Mutational divergence perturbs the native slightly relative to the
+  // family's canonical geometry; 0.25 A is within crystallographic noise.
+  return build_fold_structure(rec.sequence.id() + "_native", fold, rec.sequence.residues(),
+                              /*noise_A=*/0.25, /*noise_seed=*/rec.record_seed);
+}
+
+ProteomeStats summarize_proteome(const std::vector<ProteinRecord>& records) {
+  ProteomeStats st;
+  st.count = static_cast<int>(records.size());
+  if (records.empty()) return st;
+  st.min_length = records.front().length();
+  st.max_length = records.front().length();
+  double sum = 0.0;
+  for (const auto& r : records) {
+    const int len = r.length();
+    sum += len;
+    st.total_residues += len;
+    st.min_length = std::min(st.min_length, len);
+    st.max_length = std::max(st.max_length, len);
+    if (r.hypothetical) ++st.hypothetical;
+    if (r.novel_fold) ++st.novel_folds;
+  }
+  st.mean_length = sum / static_cast<double>(records.size());
+  return st;
+}
+
+}  // namespace sf

@@ -1,0 +1,100 @@
+#include "bio/sequence.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bio/amino_acid.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+
+bool Sequence::is_valid() const {
+  return std::all_of(residues_.begin(), residues_.end(), [](char c) { return is_standard_aa(c); });
+}
+
+double naive_sequence_identity(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(n);
+}
+
+std::vector<Sequence> read_fasta(std::istream& in) {
+  std::vector<Sequence> seqs;
+  std::string line;
+  std::string id;
+  std::string desc;
+  std::string residues;
+  auto flush = [&] {
+    if (!id.empty() || !residues.empty()) {
+      seqs.emplace_back(id, residues, desc);
+    }
+    id.clear();
+    desc.clear();
+    residues.clear();
+  };
+  while (std::getline(in, line)) {
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    if (t[0] == '>') {
+      flush();
+      const auto header = t.substr(1);
+      const auto space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        id = std::string(header);
+      } else {
+        id = std::string(header.substr(0, space));
+        desc = std::string(trim(header.substr(space + 1)));
+      }
+    } else {
+      residues += std::string(t);
+    }
+  }
+  flush();
+  return seqs;
+}
+
+std::vector<Sequence> read_fasta_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_fasta(ss);
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_fasta_file: cannot open " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs, std::size_t wrap) {
+  if (wrap == 0) wrap = 60;
+  for (const auto& s : seqs) {
+    out << '>' << s.id();
+    if (!s.description().empty()) out << ' ' << s.description();
+    out << '\n';
+    const std::string& r = s.residues();
+    for (std::size_t i = 0; i < r.size(); i += wrap) {
+      out << r.substr(i, wrap) << '\n';
+    }
+    if (r.empty()) out << '\n';
+  }
+}
+
+std::string to_fasta_string(const std::vector<Sequence>& seqs, std::size_t wrap) {
+  std::ostringstream ss;
+  write_fasta(ss, seqs, wrap);
+  return ss.str();
+}
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
+                      std::size_t wrap) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_fasta_file: cannot open " + path);
+  write_fasta(out, seqs, wrap);
+}
+
+}  // namespace sf

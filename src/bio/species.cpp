@@ -1,0 +1,83 @@
+#include "bio/species.hpp"
+
+namespace sf {
+
+SpeciesProfile species_p_mercurii() {
+  SpeciesProfile p;
+  p.name = "Pseudodesulfovibrio mercurii";
+  p.short_name = "p_mercurii";
+  p.proteome_size = 3446;
+  p.length_log_mu = 5.60;   // mean ~328 AA (prokaryote, §4.1)
+  p.length_log_sigma = 0.62;
+  p.hypothetical_fraction = 0.18;
+  p.hardness_mean = 0.30;
+  p.novel_fold_fraction = 0.02;
+  return p;
+}
+
+SpeciesProfile species_r_rubrum() {
+  SpeciesProfile p = species_p_mercurii();
+  p.name = "Rhodospirillum rubrum";
+  p.short_name = "r_rubrum";
+  p.proteome_size = 3849;
+  p.hypothetical_fraction = 0.16;
+  return p;
+}
+
+SpeciesProfile species_d_vulgaris() {
+  SpeciesProfile p = species_p_mercurii();
+  p.name = "Desulfovibrio vulgaris Hildenborough";
+  p.short_name = "d_vulgaris";
+  p.proteome_size = 3205;
+  p.hypothetical_fraction = 0.175;  // 559 of 3205 labeled hypothetical (§4.6)
+  return p;
+}
+
+SpeciesProfile species_s_divinum() {
+  SpeciesProfile p;
+  p.name = "Sphagnum divinum";
+  p.short_name = "s_divinum";
+  p.proteome_size = 25134;
+  p.length_log_mu = 5.80;   // plant proteome: longer, mean ~400 AA
+  p.length_log_sigma = 0.70;
+  p.hypothetical_fraction = 0.30;
+  p.hardness_mean = 0.45;   // eukaryotic targets are harder (§4.3.1)
+  p.hardness_sd = 0.20;
+  p.novel_fold_fraction = 0.04;
+  return p;
+}
+
+std::vector<SpeciesProfile> paper_species() {
+  return {species_p_mercurii(), species_r_rubrum(), species_d_vulgaris(), species_s_divinum()};
+}
+
+SpeciesProfile benchmark_559_profile() {
+  SpeciesProfile p = species_d_vulgaris();
+  p.name = "D. vulgaris 559-sequence benchmark";
+  p.short_name = "dv_bench559";
+  p.proteome_size = 559;
+  p.length_log_mu = 5.13;   // mean ~202 AA, range 29-1266 (§4.2)
+  p.length_log_sigma = 0.60;
+  p.length_min = 29;
+  p.length_max = 1266;
+  p.hypothetical_fraction = 1.0;  // the benchmark set is the hypothetical set
+  return p;
+}
+
+SpeciesProfile casp14_profile() {
+  SpeciesProfile p;
+  p.name = "CASP14-like target set";
+  p.short_name = "casp14";
+  p.proteome_size = 32;     // 32 targets x 5 models = 160 models (§4.4)
+  p.length_log_mu = 5.55;
+  p.length_log_sigma = 0.55;
+  p.length_min = 70;
+  p.length_max = 1500;
+  p.hypothetical_fraction = 0.0;
+  p.hardness_mean = 0.55;   // CASP targets are selected to be hard
+  p.hardness_sd = 0.20;
+  p.novel_fold_fraction = 0.15;
+  return p;
+}
+
+}  // namespace sf

@@ -1,0 +1,56 @@
+// Species profiles for the four proteomes studied in the paper, plus the
+// two benchmark sets (the 559-sequence D. vulgaris preset benchmark and
+// the CASP14-like relaxation set).
+//
+// Only the statistical shape of each proteome enters the paper's
+// performance results: protein counts, sequence-length distributions, and
+// how hard the targets are (eukaryotic proteomes are harder -- §4.3.1).
+// The profiles below encode exactly those knobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sf {
+
+struct SpeciesProfile {
+  std::string name;
+  std::string short_name;
+  // Number of target sequences (the paper's per-species counts of final
+  // top predicted structures).
+  int proteome_size = 0;
+  // Sequence length ~ clamp(lognormal(mu, sigma), min, max).
+  double length_log_mu = 5.6;
+  double length_log_sigma = 0.55;
+  int length_min = 29;
+  int length_max = 2500;
+  // Fraction of proteins labeled "hypothetical" (no functional
+  // annotation; the §4.6 study set).
+  double hypothetical_fraction = 0.15;
+  // Mean latent hardness in [0,1]; shifts MSA shallowness and recycle
+  // demand upward. Eukaryotes are harder than prokaryotes.
+  double hardness_mean = 0.30;
+  double hardness_sd = 0.18;
+  // Fraction of proteins whose fold is absent from the PDB70-like fold
+  // library (novel-fold candidates, §4.6).
+  double novel_fold_fraction = 0.02;
+};
+
+// The paper's four species (§4: counts 3446 / 3849 / 3205 / 25134) and a
+// prokaryotic mean length of ~328 AA (§4.1).
+SpeciesProfile species_p_mercurii();
+SpeciesProfile species_r_rubrum();
+SpeciesProfile species_d_vulgaris();
+SpeciesProfile species_s_divinum();
+std::vector<SpeciesProfile> paper_species();
+
+// The 559-sequence D. vulgaris benchmark subset of §4.2 / Table 1:
+// lengths 29-1266, mean 202 AA.
+SpeciesProfile benchmark_559_profile();
+
+// A CASP14-like set: 19-targets-with-crystals & the wider 160-model
+// relaxation set of §4.4; lengths biased long (CASP targets are hard,
+// multi-domain).
+SpeciesProfile casp14_profile();
+
+}  // namespace sf

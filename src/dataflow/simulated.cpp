@@ -1,0 +1,84 @@
+#include "dataflow/simulated.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sf {
+
+double DataflowRunResult::total_busy_s() const {
+  double t = 0.0;
+  for (double b : worker_busy_s) t += b;
+  return t;
+}
+
+double DataflowRunResult::mean_utilization() const {
+  if (worker_busy_s.empty()) return 0.0;
+  const double span = makespan_s - first_task_start_s;
+  if (span <= 0.0) return 0.0;
+  return total_busy_s() / (span * static_cast<double>(worker_busy_s.size()));
+}
+
+double DataflowRunResult::finish_spread_s() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (std::size_t w = 0; w < worker_finish_s.size(); ++w) {
+    if (worker_task_count[w] == 0) continue;  // idle workers don't count
+    if (first) {
+      lo = hi = worker_finish_s[w];
+      first = false;
+    } else {
+      lo = std::min(lo, worker_finish_s[w]);
+      hi = std::max(hi, worker_finish_s[w]);
+    }
+  }
+  return hi - lo;
+}
+
+DataflowRunResult run_simulated_dataflow(
+    const std::vector<TaskSpec>& tasks,
+    const std::function<double(const TaskSpec&)>& duration_of,
+    const SimulatedDataflowParams& params) {
+  if (params.workers <= 0) throw std::invalid_argument("run_simulated_dataflow: no workers");
+  if (!params.worker_speed.empty() &&
+      params.worker_speed.size() != static_cast<std::size_t>(params.workers)) {
+    throw std::invalid_argument("run_simulated_dataflow: worker_speed size mismatch");
+  }
+
+  DataflowRunResult res;
+  res.records.reserve(tasks.size());
+  res.worker_busy_s.assign(static_cast<std::size_t>(params.workers), 0.0);
+  res.worker_finish_s.assign(static_cast<std::size_t>(params.workers), 0.0);
+  res.worker_task_count.assign(static_cast<std::size_t>(params.workers), 0);
+
+  SimEngine engine;
+  std::size_t next_task = 0;
+  res.first_task_start_s = params.startup_s;
+
+  // Worker loop: grab the queue head, run it, report back after the
+  // dispatch overhead. All workers start once registration completes.
+  std::function<void(int)> request_work = [&](int worker) {
+    if (next_task >= tasks.size()) return;  // queue drained; worker idles
+    const TaskSpec& task = tasks[next_task++];
+    const double speed =
+        params.worker_speed.empty() ? 1.0 : params.worker_speed[static_cast<std::size_t>(worker)];
+    const double duration = duration_of(task) / (speed > 0.0 ? speed : 1.0);
+    const double start = engine.now() + params.dispatch_overhead_s;
+    const double end = start + duration;
+    engine.schedule_at(end, [&, worker, start, end, &task_ref = task] {
+      res.records.push_back({task_ref.id, task_ref.name, worker, start, end});
+      res.worker_busy_s[static_cast<std::size_t>(worker)] += end - start;
+      res.worker_finish_s[static_cast<std::size_t>(worker)] = end;
+      ++res.worker_task_count[static_cast<std::size_t>(worker)];
+      request_work(worker);
+    });
+  };
+
+  engine.schedule_at(params.startup_s, [&] {
+    for (int w = 0; w < params.workers; ++w) request_work(w);
+  });
+  res.makespan_s = engine.run();
+  return res;
+}
+
+}  // namespace sf

@@ -1,0 +1,90 @@
+#include "dataflow/stats.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+
+void write_task_stats_csv(std::ostream& out, const std::vector<TaskRecord>& records) {
+  CsvWriter csv(out);
+  csv.header({"task_id", "name", "worker", "start_s", "end_s"});
+  for (const auto& r : records) {
+    csv.row(r.task_id, r.name, r.worker, r.start_s, r.end_s);
+  }
+}
+
+void write_task_stats_csv_file(const std::string& path, const std::vector<TaskRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_task_stats_csv_file: cannot open " + path);
+  write_task_stats_csv(out, records);
+}
+
+std::vector<TaskRecord> read_task_stats_csv(std::istream& in) {
+  std::vector<TaskRecord> records;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto fields = parse_csv_line(line);
+    if (fields.size() != 5) throw std::runtime_error("task stats CSV: bad row: " + line);
+    TaskRecord r;
+    r.task_id = std::stoull(fields[0]);
+    r.name = fields[1];
+    r.worker = std::stoi(fields[2]);
+    r.start_s = std::stod(fields[3]);
+    r.end_s = std::stod(fields[4]);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::string render_worker_timeline(const std::vector<TaskRecord>& records,
+                                   const std::vector<int>& workers, double makespan_s,
+                                   std::size_t width) {
+  if (makespan_s <= 0.0 || width == 0) return "";
+  std::ostringstream out;
+  for (int w : workers) {
+    std::string row(width, '.');
+    for (const auto& r : records) {
+      if (r.worker != w) continue;
+      auto col_of = [&](double t) {
+        return std::min(width - 1, static_cast<std::size_t>(t / makespan_s *
+                                                            static_cast<double>(width)));
+      };
+      const std::size_t c0 = col_of(r.start_s);
+      const std::size_t c1 = col_of(r.end_s);
+      for (std::size_t c = c0; c <= c1; ++c) row[c] = '#';
+      // Leave the dividing gap visible when a task spans >1 column.
+      if (c1 > c0) row[c1] = '|';
+    }
+    out << format("worker %-6d |", w) << row << "|\n";
+  }
+  return out.str();
+}
+
+std::vector<int> sample_workers(const std::vector<TaskRecord>& records, std::size_t count) {
+  std::set<int> active;
+  for (const auto& r : records) {
+    if (r.worker >= 0) active.insert(r.worker);
+  }
+  std::vector<int> all(active.begin(), active.end());
+  if (all.size() <= count || count == 0) return all;
+  std::vector<int> picked;
+  picked.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    picked.push_back(all[i * all.size() / count]);
+  }
+  return picked;
+}
+
+}  // namespace sf

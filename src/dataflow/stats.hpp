@@ -1,0 +1,32 @@
+// Task-statistics recording and the Fig. 2 worker timeline.
+//
+// The paper's client appends per-task statistics to a CSV as each Dask
+// future resolves (§3.3 step 3e) and Fig. 2 renders ten representative
+// worker rows as a Gantt strip. This module writes/reads that CSV and
+// renders the timeline as ASCII for the bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataflow/task.hpp"
+
+namespace sf {
+
+// CSV with header: task_id,name,worker,start_s,end_s
+void write_task_stats_csv(std::ostream& out, const std::vector<TaskRecord>& records);
+void write_task_stats_csv_file(const std::string& path, const std::vector<TaskRecord>& records);
+std::vector<TaskRecord> read_task_stats_csv(std::istream& in);
+
+// Fig. 2-style ASCII Gantt: one row per selected worker, '#' while
+// processing, '.' between tasks; `width` columns span [0, makespan].
+std::string render_worker_timeline(const std::vector<TaskRecord>& records,
+                                   const std::vector<int>& workers, double makespan_s,
+                                   std::size_t width = 100);
+
+// Pick `count` evenly spaced worker ids among those that ran tasks
+// (Fig. 2 shows 10 of 1200).
+std::vector<int> sample_workers(const std::vector<TaskRecord>& records, std::size_t count);
+
+}  // namespace sf

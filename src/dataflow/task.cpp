@@ -1,0 +1,31 @@
+#include "dataflow/task.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace sf {
+
+void apply_order(std::vector<TaskSpec>& tasks, TaskOrder order, std::uint64_t seed) {
+  switch (order) {
+    case TaskOrder::kSubmission:
+      break;
+    case TaskOrder::kDescendingCost:
+      std::stable_sort(tasks.begin(), tasks.end(), [](const TaskSpec& a, const TaskSpec& b) {
+        return a.cost_hint > b.cost_hint;
+      });
+      break;
+    case TaskOrder::kAscendingCost:
+      std::stable_sort(tasks.begin(), tasks.end(), [](const TaskSpec& a, const TaskSpec& b) {
+        return a.cost_hint < b.cost_hint;
+      });
+      break;
+    case TaskOrder::kRandom: {
+      Rng rng(seed, 0xDA5C);
+      rng.shuffle(tasks);
+      break;
+    }
+  }
+}
+
+}  // namespace sf

@@ -1,0 +1,41 @@
+// Dataflow task model and per-task statistics.
+//
+// Mirrors the paper's §3.3 deployment: a scheduler task queue, one worker
+// per GPU, a client that maps the whole target list in one call, and a
+// CSV of per-task processing times appended as tasks complete. Tasks are
+// (model, target) pairs -- "this task decomposition strategy helps with
+// load distribution and balance."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf {
+
+struct TaskSpec {
+  std::uint64_t id = 0;
+  std::string name;        // e.g. "dv_00042/model3"
+  double cost_hint = 0.0;  // sort key for ordering policies (e.g. length)
+  std::size_t payload = 0; // caller-defined index into its own data
+};
+
+struct TaskRecord {
+  std::uint64_t task_id = 0;
+  std::string name;
+  int worker = -1;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+// Ordering policies for the scheduler queue. The paper's greedy load
+// balancing is kDescendingCost ("sorted in descending order of sequence
+// length"); kSubmission and kRandom are the ablation baselines.
+enum class TaskOrder { kSubmission, kDescendingCost, kAscendingCost, kRandom };
+
+// Reorder `tasks` in place per policy; `seed` only matters for kRandom.
+void apply_order(std::vector<TaskSpec>& tasks, TaskOrder order, std::uint64_t seed = 0);
+
+}  // namespace sf

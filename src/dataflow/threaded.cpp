@@ -1,0 +1,19 @@
+#include "dataflow/threaded.hpp"
+
+namespace sf {
+
+ThreadedDataflow::ThreadedDataflow(std::size_t workers) : pool_(workers) {}
+
+std::vector<TaskRecord> ThreadedDataflow::take_records() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TaskRecord> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+void ThreadedDataflow::record(const TaskSpec& task, double start_s, double end_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back({task.id, task.name, -1, start_s, end_s});
+}
+
+}  // namespace sf

@@ -1,0 +1,32 @@
+// Inference memory model and node-class fit (§3.3, §4.2).
+//
+// Two paper observations are memory phenomena:
+//  * the casp14 preset (8 ensembles) ran out of memory for the 8 longest
+//    of the 559 benchmark sequences on standard Summit nodes;
+//  * "some of the proteins are too large to fit onto the memory of a
+//    standard Summit node", requiring the 2 TB high-memory nodes.
+// The quadratic attention/pair-representation footprint dominates, with
+// an ensemble-proportional term for the feature stack.
+#pragma once
+
+namespace sf {
+
+struct MemoryModelParams {
+  double base_gb = 0.8;           // weights + runtime
+  double quad_gb = 3.0e-6;        // pair activations per L^2
+  double ensemble_quad_gb = 1.6e-6;  // per-ensemble feature stack per L^2
+};
+
+// Peak working-set for one inference task, in GB.
+double inference_memory_gb(int length, int ensembles, const MemoryModelParams& params = {});
+
+// Standard Summit node: 16 GB V100 HBM per GPU (the binding limit for a
+// one-task-per-GPU layout). High-memory nodes page through 2 TB DDR4 +
+// 192 GB HBM2; we model their per-task budget as 96 GB.
+inline constexpr double kStandardNodeTaskBudgetGb = 16.0;
+inline constexpr double kHighMemNodeTaskBudgetGb = 96.0;
+
+bool fits_standard_node(int length, int ensembles, const MemoryModelParams& params = {});
+bool fits_highmem_node(int length, int ensembles, const MemoryModelParams& params = {});
+
+}  // namespace sf

@@ -1,0 +1,100 @@
+// Backbone construction from secondary-structure strings.
+//
+// Synthetic proteins in this reproduction carry a hidden "native" fold.
+// We generate it the way coarse-grained folding models do: the CA trace
+// is grown residue-by-residue with the virtual-bond geometry of the CA
+// chain (bond 3.8 A; helix/strand/coil each have characteristic virtual
+// bond angles and torsions), and coil torsions are drawn from an explicit
+// Rng so a fold is a deterministic function of (SS string, seed). The
+// grower makes several candidate chains and keeps the most compact
+// self-avoiding one, which yields protein-like globules rather than
+// extended random walks.
+//
+// The remaining heavy atoms (N, C, O, CB, SC) are placed in local frames
+// derived from the CA trace. These placements are geometrically
+// consistent rather than chemically exact -- sufficient for every use in
+// the paper (atom counts, force-field topology, sidechain scoring).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/structure.hpp"
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+
+// Secondary-structure classes use DSSP-like letters: H helix, E strand,
+// C coil. Any other letter is treated as coil.
+bool is_helix(char ss);
+bool is_strand(char ss);
+
+struct CaTraceParams {
+  double bond_length = 3.8;     // CA-CA virtual bond (A)
+  int candidates = 8;           // chains grown per call; most compact kept
+  double clash_floor = 3.6;     // nonlocal CA-CA distances below this
+                                // disqualify a candidate (self-avoidance)
+};
+
+// Grow a CA trace for the given SS string. Deterministic in (ss, rng
+// state). Always returns ss.size() points (>= 1).
+std::vector<Vec3> build_ca_trace(const std::string& ss, Rng& rng,
+                                 const CaTraceParams& params = {});
+
+// Deterministic NeRF-style chain placement from explicit internal
+// coordinates: virtual bond angles theta[i] and torsions tau[i] (radians;
+// entries 0..2 are ignored where geometry is underdetermined). Returns
+// theta.size() points. This is the primitive under both the stochastic
+// grower above and the fold grammar's length-stable renders.
+std::vector<Vec3> place_ca_chain(const std::vector<double>& theta_rad,
+                                 const std::vector<double>& tau_rad, double bond_length = 3.8);
+
+// Self-avoidance / compactness diagnostics used to select among candidate
+// chains (exposed for the fold grammar and tests).
+struct ChainQuality {
+  double radius_of_gyration = 0.0;
+  int overlaps = 0;  // nonlocal CA pairs closer than the clash floor
+};
+ChainQuality evaluate_chain(const std::vector<Vec3>& trace, double clash_floor = 3.6);
+
+// Iterative steric resolution: push nonlocal CA pairs (|i-j| >= 2)
+// apart toward `target_A` with damped steps. Used by the fold renderer
+// (natives must be self-avoiding) and by the folding engine (the
+// structure module's implicit clash avoidance).
+void resolve_steric_overlap(std::vector<Vec3>& ca, int iterations, double target_A = 3.9,
+                            double step = 0.4);
+
+// Chain-continuity repair: pull adjacent CA pairs stretched beyond
+// bond + slack back toward the virtual bond length.
+void enforce_chain_continuity(std::vector<Vec3>& ca, int iterations, double bond = 3.8,
+                              double slack = 0.25);
+
+// Characteristic CA virtual-bond internal coordinates per SS class
+// (degrees), exposed so higher layers (the fold grammar) can draw
+// torsions from the same statistics the grower uses.
+struct SsGeometry {
+  double theta_deg;
+  double tau_deg;
+  double theta_sd;
+  double tau_sd;
+};
+SsGeometry ss_geometry(char ss);
+
+// Fill in N, C, O, CB, SC for every residue of `s` from its CA trace.
+// Respects each residue's has_cb / has_sc flags; SC is placed farther
+// from CA for residues with more heavy atoms (bulkier sidechains).
+void build_full_atoms(Structure& s);
+
+// Convenience: assemble a Structure from a sequence-aligned SS string and
+// per-residue metadata, growing the trace and placing all atoms.
+struct ResidueSpec {
+  char aa = 'A';
+  int heavy_atoms = 5;
+  bool has_cb = true;
+  bool has_sc = false;
+};
+Structure build_structure(const std::string& name, const std::vector<ResidueSpec>& spec,
+                          const std::string& ss, Rng& rng, const CaTraceParams& params = {});
+
+}  // namespace sf

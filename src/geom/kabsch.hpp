@@ -1,0 +1,46 @@
+// Kabsch optimal rigid-body superposition.
+//
+// Core primitive under TM-score, SPECS-score, and the structural aligner:
+// given paired point sets, find the rotation + translation minimizing RMSD.
+// Implemented via Jacobi eigendecomposition of the 3x3 Gram matrix of the
+// cross-covariance (no external linear-algebra dependency), with the usual
+// determinant fix to exclude reflections.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace sf {
+
+struct Superposition {
+  Mat3 rotation = Mat3::identity();
+  Vec3 translation;  // apply as: rotation * x + translation
+  double rmsd = 0.0;
+
+  Vec3 apply(const Vec3& p) const { return rotation * p + translation; }
+  void apply_inplace(std::vector<Vec3>& pts) const {
+    for (auto& p : pts) p = apply(p);
+  }
+};
+
+// Optimal superposition of `mobile` onto `target` (equal sizes, >= 1).
+// With size 1 or 2 a valid (degenerate) solution is still returned.
+Superposition kabsch(const std::vector<Vec3>& mobile, const std::vector<Vec3>& target);
+
+// Weighted variant; weights must be non-negative, same length as points.
+Superposition kabsch_weighted(const std::vector<Vec3>& mobile, const std::vector<Vec3>& target,
+                              const std::vector<double>& weights);
+
+// RMSD after optimal superposition (convenience).
+double superposed_rmsd(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+// RMSD without superposition (coordinates compared as-is).
+double raw_rmsd(const std::vector<Vec3>& a, const std::vector<Vec3>& b);
+
+// Jacobi eigendecomposition of a symmetric 3x3 matrix.
+// Returns eigenvalues (descending) and matching unit eigenvectors as the
+// columns of `vectors`.
+void symmetric_eigen3(const Mat3& sym, double eigenvalues[3], Mat3& vectors);
+
+}  // namespace sf

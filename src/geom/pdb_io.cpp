@@ -1,0 +1,135 @@
+#include "geom/pdb_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sf {
+
+namespace {
+
+const char* three_letter(char aa) {
+  switch (aa) {
+    case 'A': return "ALA";
+    case 'R': return "ARG";
+    case 'N': return "ASN";
+    case 'D': return "ASP";
+    case 'C': return "CYS";
+    case 'Q': return "GLN";
+    case 'E': return "GLU";
+    case 'G': return "GLY";
+    case 'H': return "HIS";
+    case 'I': return "ILE";
+    case 'L': return "LEU";
+    case 'K': return "LYS";
+    case 'M': return "MET";
+    case 'F': return "PHE";
+    case 'P': return "PRO";
+    case 'S': return "SER";
+    case 'T': return "THR";
+    case 'W': return "TRP";
+    case 'Y': return "TYR";
+    case 'V': return "VAL";
+    default: return "UNK";
+  }
+}
+
+char one_letter(const std::string& res) {
+  static const std::map<std::string, char> table = {
+      {"ALA", 'A'}, {"ARG", 'R'}, {"ASN", 'N'}, {"ASP", 'D'}, {"CYS", 'C'},
+      {"GLN", 'Q'}, {"GLU", 'E'}, {"GLY", 'G'}, {"HIS", 'H'}, {"ILE", 'I'},
+      {"LEU", 'L'}, {"LYS", 'K'}, {"MET", 'M'}, {"PHE", 'F'}, {"PRO", 'P'},
+      {"SER", 'S'}, {"THR", 'T'}, {"TRP", 'W'}, {"TYR", 'Y'}, {"VAL", 'V'}};
+  const auto it = table.find(res);
+  return it != table.end() ? it->second : 'X';
+}
+
+void write_atom(std::ostream& out, int serial, const char* atom_name, char aa, int res_seq,
+                const Vec3& p) {
+  char line[96];
+  // Columns per the PDB v3.3 ATOM record spec.
+  std::snprintf(line, sizeof(line),
+                "ATOM  %5d %-4s %3s A%4d    %8.3f%8.3f%8.3f  1.00  0.00           %c\n",
+                serial, atom_name, three_letter(aa), res_seq, p.x, p.y, p.z,
+                atom_name[0] == 'S' ? 'C' : atom_name[0]);
+  out << line;
+}
+
+}  // namespace
+
+void write_pdb(std::ostream& out, const Structure& s) {
+  out << "REMARK summitfold reduced heavy-atom model: " << s.name() << '\n';
+  int serial = 1;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Residue& r = s.residue(i);
+    const int res_seq = static_cast<int>(i) + 1;
+    write_atom(out, serial++, "N", r.aa, res_seq, r.n);
+    write_atom(out, serial++, "CA", r.aa, res_seq, r.ca);
+    write_atom(out, serial++, "C", r.aa, res_seq, r.c);
+    write_atom(out, serial++, "O", r.aa, res_seq, r.o);
+    if (r.has_cb) write_atom(out, serial++, "CB", r.aa, res_seq, r.cb);
+    if (r.has_sc) write_atom(out, serial++, "SC", r.aa, res_seq, r.sc);
+  }
+  out << "TER\nEND\n";
+}
+
+std::string to_pdb_string(const Structure& s) {
+  std::ostringstream ss;
+  write_pdb(ss, s);
+  return ss.str();
+}
+
+void write_pdb_file(const std::string& path, const Structure& s) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_pdb_file: cannot open " + path);
+  write_pdb(out, s);
+}
+
+Structure read_pdb(std::istream& in, const std::string& name) {
+  Structure s(name);
+  std::string line;
+  int current_res = -1;
+  while (std::getline(in, line)) {
+    if (line.rfind("ATOM", 0) != 0) continue;
+    if (line.size() < 54) throw std::runtime_error("read_pdb: truncated ATOM record");
+    const std::string atom_name(line.substr(12, 4));
+    const std::string res_name(line.substr(17, 3));
+    const int res_seq = std::stoi(line.substr(22, 4));
+    const Vec3 p{std::stod(line.substr(30, 8)), std::stod(line.substr(38, 8)),
+                 std::stod(line.substr(46, 8))};
+    if (res_seq != current_res) {
+      Residue r;
+      r.aa = one_letter(res_name);
+      s.add_residue(r);
+      current_res = res_seq;
+    }
+    Residue& r = s.residues().back();
+    const std::string trimmed(atom_name.find_first_not_of(' ') == std::string::npos
+                                  ? ""
+                                  : atom_name.substr(atom_name.find_first_not_of(' '),
+                                                     atom_name.find_last_not_of(' ') -
+                                                         atom_name.find_first_not_of(' ') + 1));
+    if (trimmed == "N") r.n = p;
+    else if (trimmed == "CA") r.ca = p;
+    else if (trimmed == "C") r.c = p;
+    else if (trimmed == "O") r.o = p;
+    else if (trimmed == "CB") { r.cb = p; r.has_cb = true; }
+    else if (trimmed == "SC") { r.sc = p; r.has_sc = true; }
+  }
+  return s;
+}
+
+Structure read_pdb_string(const std::string& text, const std::string& name) {
+  std::istringstream ss(text);
+  return read_pdb(ss, name);
+}
+
+Structure read_pdb_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_pdb_file: cannot open " + path);
+  return read_pdb(in, path);
+}
+
+}  // namespace sf

@@ -1,0 +1,89 @@
+#include "geom/violations.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace sf {
+
+namespace {
+
+ViolationReport count_quadratic(const std::vector<Vec3>& ca, std::size_t min_sep) {
+  ViolationReport rep;
+  const double bump2 = kBumpDistance * kBumpDistance;
+  const double clash2 = kClashDistance * kClashDistance;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    for (std::size_t j = i + min_sep; j < ca.size(); ++j) {
+      const double d2 = distance2(ca[i], ca[j]);
+      if (d2 < bump2) {
+        ++rep.bumps;
+        if (d2 < clash2) ++rep.clashes;
+      }
+    }
+  }
+  return rep;
+}
+
+// Cell list with bins the size of the bump cutoff; neighbors need only
+// the 27 surrounding cells. Turns the n^2 scan into ~O(n) for globular
+// chains, which matters when violation counting runs inside relaxation
+// benchmarks over thousands of models.
+ViolationReport count_cell_list(const std::vector<Vec3>& ca, std::size_t min_sep) {
+  ViolationReport rep;
+  const double cell = kBumpDistance;
+  const double bump2 = kBumpDistance * kBumpDistance;
+  const double clash2 = kClashDistance * kClashDistance;
+
+  auto key = [cell](const Vec3& p) {
+    const auto cx = static_cast<long>(std::floor(p.x / cell));
+    const auto cy = static_cast<long>(std::floor(p.y / cell));
+    const auto cz = static_cast<long>(std::floor(p.z / cell));
+    // Pack three 21-bit signed cell indices into one 64-bit key.
+    return (static_cast<std::uint64_t>(cx & 0x1FFFFF) << 42) |
+           (static_cast<std::uint64_t>(cy & 0x1FFFFF) << 21) |
+           static_cast<std::uint64_t>(cz & 0x1FFFFF);
+  };
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid;
+  grid.reserve(ca.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) grid[key(ca[i])].push_back(i);
+
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    const auto cx = static_cast<long>(std::floor(ca[i].x / cell));
+    const auto cy = static_cast<long>(std::floor(ca[i].y / cell));
+    const auto cz = static_cast<long>(std::floor(ca[i].z / cell));
+    for (long dx = -1; dx <= 1; ++dx) {
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dz = -1; dz <= 1; ++dz) {
+          const Vec3 probe{static_cast<double>(cx + dx) * cell,
+                           static_cast<double>(cy + dy) * cell,
+                           static_cast<double>(cz + dz) * cell};
+          const auto it = grid.find(key(probe));
+          if (it == grid.end()) continue;
+          for (std::size_t j : it->second) {
+            if (j <= i || j - i < min_sep) continue;
+            const double d2 = distance2(ca[i], ca[j]);
+            if (d2 < bump2) {
+              ++rep.bumps;
+              if (d2 < clash2) ++rep.clashes;
+            }
+          }
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+ViolationReport count_violations(const std::vector<Vec3>& ca, std::size_t min_separation) {
+  if (min_separation == 0) min_separation = 1;
+  if (ca.size() < 256) return count_quadratic(ca, min_separation);
+  return count_cell_list(ca, min_separation);
+}
+
+ViolationReport count_violations(const Structure& s, std::size_t min_separation) {
+  return count_violations(s.ca_coords(), min_separation);
+}
+
+}  // namespace sf

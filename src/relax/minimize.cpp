@@ -1,0 +1,218 @@
+#include "relax/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace sf {
+
+namespace {
+
+double dot_all(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i].dot(b[i]);
+  return s;
+}
+
+double rms_norm(const std::vector<Vec3>& g) {
+  if (g.empty()) return 0.0;
+  return std::sqrt(dot_all(g, g) / static_cast<double>(g.size()));
+}
+
+void axpy(std::vector<Vec3>& y, double alpha, const std::vector<Vec3>& x) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i] * alpha;
+}
+
+}  // namespace
+
+MinimizeResult minimize_lbfgs(const ForceField& ff, std::vector<Vec3>& coords,
+                              const MinimizeOptions& options) {
+  MinimizeResult res;
+  const std::size_t n = coords.size();
+  if (n == 0) return res;
+
+  std::vector<Vec3> grad(n);
+  double energy = ff.energy_and_gradient(coords, grad);
+  ++res.energy_evaluations;
+  res.initial_energy = energy;
+
+  struct Pair {
+    std::vector<Vec3> s;  // x_{k+1} - x_k
+    std::vector<Vec3> y;  // g_{k+1} - g_k
+    double rho;           // 1 / (y . s)
+  };
+  std::deque<Pair> history;
+
+  std::vector<Vec3> direction(n);
+  std::vector<Vec3> x_new(n);
+  std::vector<Vec3> g_new(n);
+  std::vector<double> alphas;
+
+  for (int step = 0; step < options.max_steps; ++step) {
+    if (rms_norm(grad) < options.grad_tolerance) {
+      res.converged = true;
+      break;
+    }
+    // Two-loop recursion: direction = -H * grad.
+    direction = grad;
+    alphas.assign(history.size(), 0.0);
+    for (std::size_t h = history.size(); h-- > 0;) {
+      const Pair& p = history[h];
+      const double alpha = p.rho * dot_all(p.s, direction);
+      alphas[h] = alpha;
+      axpy(direction, -alpha, p.y);
+    }
+    // Initial Hessian scaling gamma = (s.y)/(y.y) from the latest pair.
+    if (!history.empty()) {
+      const Pair& last = history.back();
+      const double yy = dot_all(last.y, last.y);
+      if (yy > 1e-12) {
+        const double gamma = 1.0 / (last.rho * yy);
+        for (auto& d : direction) d *= gamma;
+      }
+    } else {
+      // First step: cautious scaling so a stiff start can't explode.
+      const double gnorm = std::sqrt(dot_all(grad, grad));
+      if (gnorm > 1.0) {
+        for (auto& d : direction) d *= 1.0 / gnorm;
+      }
+    }
+    for (std::size_t h = 0; h < history.size(); ++h) {
+      const Pair& p = history[h];
+      const double beta = p.rho * dot_all(p.y, direction);
+      axpy(direction, alphas[h] - beta, p.s);
+    }
+    for (auto& d : direction) d = -d;
+
+    double dir_dot_grad = dot_all(direction, grad);
+    if (dir_dot_grad >= 0.0) {
+      // Not a descent direction (stale curvature); restart with -grad.
+      history.clear();
+      direction = grad;
+      for (auto& d : direction) d = -d;
+      dir_dot_grad = -dot_all(grad, grad);
+    }
+
+    // Armijo backtracking line search.
+    double step_len = 1.0;
+    constexpr double kArmijoC = 1e-4;
+    constexpr double kBacktrack = 0.5;
+    double e_new = energy;
+    bool accepted = false;
+    for (int ls = 0; ls < 30; ++ls) {
+      x_new = coords;
+      axpy(x_new, step_len, direction);
+      e_new = ff.energy_and_gradient(x_new, g_new);
+      ++res.energy_evaluations;
+      if (e_new <= energy + kArmijoC * step_len * dir_dot_grad) {
+        accepted = true;
+        break;
+      }
+      step_len *= kBacktrack;
+    }
+    if (!accepted) break;  // line search failed: local flatness/noise
+
+    // Curvature update.
+    Pair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pair.s[i] = x_new[i] - coords[i];
+      pair.y[i] = g_new[i] - grad[i];
+    }
+    const double ys = dot_all(pair.y, pair.s);
+    if (ys > 1e-10) {
+      pair.rho = 1.0 / ys;
+      history.push_back(std::move(pair));
+      if (static_cast<int>(history.size()) > options.lbfgs_history) history.pop_front();
+    }
+
+    const double delta_e = energy - e_new;
+    coords.swap(x_new);
+    grad.swap(g_new);
+    energy = e_new;
+    ++res.steps;
+    if (delta_e >= 0.0 && delta_e < options.energy_tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.final_energy = energy;
+  return res;
+}
+
+MinimizeResult minimize_fire(const ForceField& ff, std::vector<Vec3>& coords,
+                             const MinimizeOptions& options) {
+  MinimizeResult res;
+  const std::size_t n = coords.size();
+  if (n == 0) return res;
+
+  // FIRE parameters (Bitzek et al. 2006 defaults).
+  constexpr double kDtStart = 0.02;
+  constexpr double kDtMax = 0.3;
+  constexpr double kFInc = 1.1;
+  constexpr double kFDec = 0.5;
+  constexpr double kAlphaStart = 0.1;
+  constexpr double kFAlpha = 0.99;
+  constexpr int kNMin = 5;
+
+  std::vector<Vec3> grad(n);
+  std::vector<Vec3> vel(n, Vec3{});
+  double energy = ff.energy_and_gradient(coords, grad);
+  ++res.energy_evaluations;
+  res.initial_energy = energy;
+  double prev_energy = energy;
+
+  double dt = kDtStart;
+  double alpha = kAlphaStart;
+  int steps_since_negative = 0;
+
+  for (int step = 0; step < options.max_steps; ++step) {
+    // Force is -grad.
+    double power = 0.0;
+    for (std::size_t i = 0; i < n; ++i) power += -grad[i].dot(vel[i]);
+    if (power > 0.0) {
+      ++steps_since_negative;
+      const double vnorm = std::sqrt(dot_all(vel, vel));
+      const double gnorm = std::sqrt(dot_all(grad, grad));
+      if (gnorm > 1e-12) {
+        const double mix = alpha * vnorm / gnorm;
+        for (std::size_t i = 0; i < n; ++i) {
+          vel[i] = vel[i] * (1.0 - alpha) - grad[i] * mix;
+        }
+      }
+      if (steps_since_negative > kNMin) {
+        dt = std::min(dt * kFInc, kDtMax);
+        alpha *= kFAlpha;
+      }
+    } else {
+      vel.assign(n, Vec3{});
+      dt *= kFDec;
+      alpha = kAlphaStart;
+      steps_since_negative = 0;
+    }
+    // Semi-implicit Euler.
+    for (std::size_t i = 0; i < n; ++i) {
+      vel[i] -= grad[i] * dt;
+      coords[i] += vel[i] * dt;
+    }
+    energy = ff.energy_and_gradient(coords, grad);
+    ++res.energy_evaluations;
+    ++res.steps;
+
+    if (rms_norm(grad) < options.grad_tolerance) {
+      res.converged = true;
+      break;
+    }
+    const double delta_e = prev_energy - energy;
+    if (delta_e >= 0.0 && delta_e < options.energy_tolerance && step > 10) {
+      res.converged = true;
+      break;
+    }
+    prev_energy = energy;
+  }
+  res.final_energy = energy;
+  return res;
+}
+
+}  // namespace sf

@@ -1,0 +1,26 @@
+#include "relax/platform.hpp"
+
+namespace sf {
+
+double RelaxCostModel::task_seconds(RelaxPlatform platform, std::size_t heavy_atoms,
+                                    std::size_t energy_evaluations, int rounds) const {
+  const auto atoms = static_cast<double>(heavy_atoms);
+  const auto evals = static_cast<double>(energy_evaluations);
+  switch (platform) {
+    case RelaxPlatform::kSummitGpu:
+      return gpu_setup_s + evals * (gpu_eval_base_s + atoms * gpu_eval_per_atom_s);
+    case RelaxPlatform::kAndesCpu:
+      return cpu_setup_s + evals * (cpu_eval_base_s + atoms * cpu_eval_per_atom_s);
+    case RelaxPlatform::kAf2Original: {
+      const double sim = cpu_setup_s + evals * (cpu_eval_base_s +
+                                                atoms * af2_atom_factor * cpu_eval_per_atom_s);
+      const double katoms = atoms * af2_atom_factor / 1000.0;
+      const double checks =
+          static_cast<double>(rounds) * af2_violation_check_s_per_katom2 * katoms * katoms;
+      return sim + checks;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace sf

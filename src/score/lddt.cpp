@@ -1,0 +1,60 @@
+#include "score/lddt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+LddtResult lddt(const std::vector<Vec3>& model_ca, const std::vector<Vec3>& reference_ca,
+                double inclusion_radius) {
+  if (model_ca.size() != reference_ca.size()) {
+    throw std::invalid_argument("lddt: structures must have equal residue counts");
+  }
+  const std::size_t n = model_ca.size();
+  LddtResult res;
+  res.per_residue.assign(n, 0.0);
+  if (n == 0) return res;
+
+  static const double kTolerances[4] = {0.5, 1.0, 2.0, 4.0};
+  const double r2 = inclusion_radius * inclusion_radius;
+
+  std::vector<double> preserved(n, 0.0);
+  std::vector<double> total(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      const double dref2 = distance2(reference_ca[i], reference_ca[j]);
+      if (dref2 > r2) continue;
+      const double dref = std::sqrt(dref2);
+      const double dmod = distance(model_ca[i], model_ca[j]);
+      const double delta = std::abs(dref - dmod);
+      double frac = 0.0;
+      for (double tol : kTolerances) {
+        if (delta < tol) frac += 0.25;
+      }
+      preserved[i] += frac;
+      preserved[j] += frac;
+      total[i] += 1.0;
+      total[j] += 1.0;
+    }
+  }
+
+  double global = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (total[i] > 0.0) {
+      res.per_residue[i] = 100.0 * preserved[i] / total[i];
+      global += res.per_residue[i];
+      ++counted;
+    } else {
+      res.per_residue[i] = 0.0;
+    }
+  }
+  res.global = counted > 0 ? global / static_cast<double>(counted) : 0.0;
+  return res;
+}
+
+LddtResult lddt(const Structure& model, const Structure& reference) {
+  return lddt(model.ca_coords(), reference.ca_coords());
+}
+
+}  // namespace sf

@@ -1,0 +1,30 @@
+// lDDT: local Distance Difference Test (Mariani et al., 2013).
+//
+// Superposition-free local model quality in [0,100]: for every pair of
+// residues within an inclusion radius in the *reference*, check whether
+// the model preserves their distance within tolerances {0.5, 1, 2, 4} A;
+// a residue's score is the mean preserved fraction over its pairs, the
+// global score the mean over residues. AlphaFold's pLDDT is the model's
+// *prediction* of this quantity; our surrogate's confidence head emits a
+// noisy estimate of the true lDDT computed here.
+#pragma once
+
+#include <vector>
+
+#include "geom/structure.hpp"
+#include "geom/vec3.hpp"
+
+namespace sf {
+
+struct LddtResult {
+  double global = 0.0;             // mean over residues, 0-100
+  std::vector<double> per_residue; // 0-100 each
+};
+
+// CA-based lDDT with the standard 15 A inclusion radius and sequence
+// separation >= 2 (as in the reference CA-lDDT).
+LddtResult lddt(const std::vector<Vec3>& model_ca, const std::vector<Vec3>& reference_ca,
+                double inclusion_radius = 15.0);
+LddtResult lddt(const Structure& model, const Structure& reference);
+
+}  // namespace sf

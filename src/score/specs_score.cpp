@@ -1,0 +1,66 @@
+#include "score/specs_score.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/kabsch.hpp"
+#include "score/tm_score.hpp"
+
+namespace sf {
+
+SpecsResult specs_score(const Structure& model, const Structure& reference) {
+  if (model.size() != reference.size()) {
+    throw std::invalid_argument("specs_score: structures must have equal residue counts");
+  }
+  SpecsResult res;
+  const std::size_t n = model.size();
+  if (n == 0) return res;
+
+  // Use the TM-score optimal superposition so the score reflects the best
+  // global fit (SPECS likewise works in a superposed frame).
+  const TmResult tm = tm_score(model, reference);
+  const Superposition& sp = tm.superposition;
+
+  // Backbone: GDT-TS shells (1, 2, 4, 8 A) on superposed CA positions.
+  static const double kShells[4] = {1.0, 2.0, 4.0, 8.0};
+  double backbone = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = distance(sp.apply(model.residue(i).ca), reference.residue(i).ca);
+    double shells = 0.0;
+    for (double cut : kShells) {
+      if (d < cut) shells += 0.25;
+    }
+    backbone += shells;
+  }
+  backbone /= static_cast<double>(n);
+
+  // Sidechain: orientation agreement of the CA->SC vector (cosine mapped
+  // to [0,1]) damped by SC positional error on a 2 A scale.
+  double sidechain = 0.0;
+  std::size_t sc_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Residue& rm = model.residue(i);
+    const Residue& rr = reference.residue(i);
+    if (!rm.has_sc || !rr.has_sc) continue;
+    const Vec3 vm = (sp.apply(rm.sc) - sp.apply(rm.ca));
+    const Vec3 vr = (rr.sc - rr.ca);
+    const double nm = vm.norm();
+    const double nr = vr.norm();
+    if (nm < 1e-9 || nr < 1e-9) continue;
+    const double cosang = vm.dot(vr) / (nm * nr);
+    const double orient = 0.5 * (1.0 + cosang);
+    const double d = distance(sp.apply(rm.sc), rr.sc);
+    const double prox = 1.0 / (1.0 + (d / 2.0) * (d / 2.0));
+    sidechain += 0.5 * orient + 0.5 * prox;
+    ++sc_count;
+  }
+  sidechain = sc_count > 0 ? sidechain / static_cast<double>(sc_count) : backbone;
+
+  res.backbone = backbone;
+  res.sidechain = sidechain;
+  // SPECS weights backbone agreement slightly over sidechain terms.
+  res.specs = 0.6 * backbone + 0.4 * sidechain;
+  return res;
+}
+
+}  // namespace sf

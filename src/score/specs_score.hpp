@@ -1,0 +1,30 @@
+// SPECS-like score (after Alapati, Shuvo & Bhattacharya, 2020).
+//
+// SPECS integrates superposition-based backbone quality with sidechain
+// orientation agreement. The published score mixes GDT-style distance
+// shells on CA with sidechain (pseudo-)atom direction and distance terms.
+// We implement the same blend on our reduced model: the backbone
+// component is a GDT-TS-style shell average over superposed CAs, and the
+// sidechain component scores CB->SC orientation agreement and SC distance
+// under the same superposition. The paper uses SPECS only comparatively
+// (relaxed vs unrelaxed, Fig. 3 right panel), for which this
+// reduced-model analog is an exact stand-in: it is sensitive to sidechain
+// perturbation but blind to rigid-body motion, like the original.
+#pragma once
+
+#include "geom/structure.hpp"
+
+namespace sf {
+
+struct SpecsResult {
+  double specs = 0.0;      // blended score in [0,1]
+  double backbone = 0.0;   // GDT-style CA component in [0,1]
+  double sidechain = 0.0;  // sidechain orientation/distance component in [0,1]
+};
+
+// Model scored against reference with the residue-index correspondence;
+// equal lengths required. Residues lacking sidechain pseudo-atoms
+// contribute only to the backbone term (as glycines do in SPECS).
+SpecsResult specs_score(const Structure& model, const Structure& reference);
+
+}  // namespace sf

@@ -1,0 +1,128 @@
+#include "score/tm_score.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf {
+
+double tm_d0(std::size_t target_length) {
+  if (target_length <= 15) return 0.5;
+  const double d0 = 1.24 * std::cbrt(static_cast<double>(target_length) - 15.0) - 1.8;
+  return std::max(0.5, d0);
+}
+
+namespace {
+
+// One evaluation: superpose on `subset`, score all pairs, and return the
+// next subset (pairs within d_cut of each other after superposition).
+struct PassResult {
+  double tm = 0.0;
+  Superposition sp;
+  std::vector<int> next_subset;
+};
+
+PassResult evaluate_pass(const std::vector<Vec3>& model, const std::vector<Vec3>& target,
+                         const std::vector<std::pair<int, int>>& pairs,
+                         const std::vector<int>& subset, double d0, double d_cut,
+                         std::size_t norm_length) {
+  PassResult res;
+  std::vector<Vec3> m_sub;
+  std::vector<Vec3> t_sub;
+  m_sub.reserve(subset.size());
+  t_sub.reserve(subset.size());
+  for (int k : subset) {
+    m_sub.push_back(model[static_cast<std::size_t>(pairs[static_cast<std::size_t>(k)].first)]);
+    t_sub.push_back(target[static_cast<std::size_t>(pairs[static_cast<std::size_t>(k)].second)]);
+  }
+  res.sp = kabsch(m_sub, t_sub);
+
+  const double d0_2 = d0 * d0;
+  const double d_cut2 = d_cut * d_cut;
+  double score = 0.0;
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const Vec3 mp = res.sp.apply(model[static_cast<std::size_t>(pairs[k].first)]);
+    const double d2 = distance2(mp, target[static_cast<std::size_t>(pairs[k].second)]);
+    score += 1.0 / (1.0 + d2 / d0_2);
+    if (d2 < d_cut2) res.next_subset.push_back(static_cast<int>(k));
+  }
+  res.tm = score / static_cast<double>(norm_length);
+  return res;
+}
+
+}  // namespace
+
+TmResult tm_score_aligned(const std::vector<Vec3>& model_ca, const std::vector<Vec3>& target_ca,
+                          const std::vector<std::pair<int, int>>& pairs,
+                          std::size_t norm_length) {
+  TmResult best;
+  if (pairs.empty() || norm_length == 0) return best;
+  const double d0 = tm_d0(norm_length);
+  // Distance cutoff for subset refinement, as in the reference
+  // implementation: d0 but never below 4.5 A.
+  const double d_cut = std::max(4.5, d0);
+  const auto n_ali = static_cast<int>(pairs.size());
+
+  // Seed fragments: full alignment, halves, quarters... down to length 4,
+  // each at several offsets (the published heuristic's seed schedule).
+  std::vector<std::vector<int>> seeds;
+  for (int frag = n_ali; frag >= 4; frag /= 2) {
+    const int step = std::max(1, frag / 2);
+    for (int start = 0; start + frag <= n_ali; start += step) {
+      std::vector<int> seed(static_cast<std::size_t>(frag));
+      for (int i = 0; i < frag; ++i) seed[static_cast<std::size_t>(i)] = start + i;
+      seeds.push_back(std::move(seed));
+    }
+    if (frag == 4) break;
+  }
+  if (seeds.empty()) {
+    std::vector<int> all(static_cast<std::size_t>(n_ali));
+    for (int i = 0; i < n_ali; ++i) all[static_cast<std::size_t>(i)] = i;
+    seeds.push_back(std::move(all));
+  }
+
+  for (const auto& seed : seeds) {
+    std::vector<int> subset = seed;
+    for (int iter = 0; iter < 20; ++iter) {
+      if (subset.size() < 3) break;
+      PassResult pass =
+          evaluate_pass(model_ca, target_ca, pairs, subset, d0, d_cut, norm_length);
+      if (pass.tm > best.tm_score) {
+        best.tm_score = pass.tm;
+        best.superposition = pass.sp;
+        // RMSD and count over the converged inclusion set.
+        best.aligned = pass.next_subset.size();
+        if (!pass.next_subset.empty()) {
+          double s = 0.0;
+          for (int k : pass.next_subset) {
+            const auto& pr = pairs[static_cast<std::size_t>(k)];
+            const Vec3 mp = pass.sp.apply(model_ca[static_cast<std::size_t>(pr.first)]);
+            s += distance2(mp, target_ca[static_cast<std::size_t>(pr.second)]);
+          }
+          best.rmsd_aligned = std::sqrt(s / static_cast<double>(pass.next_subset.size()));
+        }
+      }
+      if (pass.next_subset == subset || pass.next_subset.size() < 3) break;
+      subset = std::move(pass.next_subset);
+    }
+  }
+  return best;
+}
+
+TmResult tm_score(const std::vector<Vec3>& model_ca, const std::vector<Vec3>& target_ca) {
+  if (model_ca.size() != target_ca.size()) {
+    throw std::invalid_argument("tm_score: structures must have equal residue counts");
+  }
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(model_ca.size());
+  for (std::size_t i = 0; i < model_ca.size(); ++i) {
+    pairs.emplace_back(static_cast<int>(i), static_cast<int>(i));
+  }
+  return tm_score_aligned(model_ca, target_ca, pairs, target_ca.size());
+}
+
+TmResult tm_score(const Structure& model, const Structure& target) {
+  return tm_score(model.ca_coords(), target.ca_coords());
+}
+
+}  // namespace sf

@@ -1,0 +1,42 @@
+// TM-score (Zhang & Skolnick, Proteins 2004).
+//
+// The paper uses TM-score twice: to assess relaxation fidelity (Fig. 3)
+// and, as pTMS, as the global model-confidence metric everywhere else.
+// This is a faithful implementation of the published algorithm for
+// residue-aligned structure pairs: the characteristic length-dependent
+// scale d0(L), and the iterative superposition search that seeds from
+// multiple fragments and refines on the subset of residues closer than a
+// cutoff until the included-residue set stabilizes, keeping the best
+// score over all seeds.
+#pragma once
+
+#include <vector>
+
+#include "geom/structure.hpp"
+#include "geom/vec3.hpp"
+
+namespace sf {
+
+// d0 normalization scale: 1.24 * cbrt(L - 15) - 1.8, floored at 0.5.
+double tm_d0(std::size_t target_length);
+
+struct TmResult {
+  double tm_score = 0.0;        // normalized by target length
+  double rmsd_aligned = 0.0;    // RMSD over the final included subset
+  std::size_t aligned = 0;      // residues in the final subset
+  Superposition superposition;  // best transform (mobile -> target)
+};
+
+// TM-score of `model` against `target` with the implicit residue-index
+// correspondence (equal lengths required).
+TmResult tm_score(const std::vector<Vec3>& model_ca, const std::vector<Vec3>& target_ca);
+TmResult tm_score(const Structure& model, const Structure& target);
+
+// TM-score under a *given* correspondence (pairs of indices into each
+// CA list); normalization by `norm_length` (typically the target/query
+// length). Used by the structural aligner in analysis/.
+TmResult tm_score_aligned(const std::vector<Vec3>& model_ca, const std::vector<Vec3>& target_ca,
+                          const std::vector<std::pair<int, int>>& pairs,
+                          std::size_t norm_length);
+
+}  // namespace sf

@@ -1,0 +1,34 @@
+#include "seqsearch/feature_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf {
+
+InputFeatures sample_features(const ProteinRecord& record, LibraryKind kind,
+                              const FeatureModelParams& params) {
+  Rng rng(record.record_seed, 0xFEA7);
+  InputFeatures f;
+  f.target_id = record.sequence.id();
+  f.length = record.length();
+
+  const double recovery =
+      kind == LibraryKind::kFull ? params.recovery_full : params.recovery_reduced;
+  const double raw_depth =
+      static_cast<double>(record.family_size) * recovery * rng.uniform(0.7, 1.3);
+  f.msa_depth = std::max(0, static_cast<int>(std::lround(raw_depth)));
+
+  // Neff saturates with depth and is depressed by latent hardness (hard
+  // targets have shallow, low-diversity families).
+  const double depth = static_cast<double>(f.msa_depth);
+  double neff = params.neff_max * depth / (depth + params.neff_halfsat);
+  neff *= (1.0 - 0.55 * record.hardness);
+  if (kind == LibraryKind::kReduced) neff *= params.reduced_neff_retention;
+  f.neff = std::max(0.0, neff * rng.uniform(0.9, 1.1));
+
+  f.mean_identity = std::clamp(rng.normal(0.48, 0.10), 0.2, 0.9);
+  f.has_templates = rng.chance(params.template_probability * (1.0 - 0.5 * record.hardness));
+  return f;
+}
+
+}  // namespace sf

@@ -1,0 +1,79 @@
+#include "seqsearch/kmer_index.hpp"
+
+#include <algorithm>
+
+#include "bio/amino_acid.hpp"
+
+namespace sf {
+
+KmerIndex::KmerIndex(int k) : k_(std::clamp(k, 3, 8)) {}
+
+std::uint64_t KmerIndex::pack_kmer(std::string_view window) {
+  // 5 bits per residue (20 < 32); non-standard residues poison the k-mer.
+  std::uint64_t key = 1;  // leading 1 disambiguates lengths
+  for (char c : window) {
+    const int idx = aa_index(c);
+    if (idx < 0) return 0;
+    key = (key << 5) | static_cast<std::uint64_t>(idx);
+  }
+  return key;
+}
+
+void KmerIndex::add_sequence(std::string_view residues) {
+  const auto seq_id = static_cast<std::uint32_t>(lengths_.size());
+  lengths_.push_back(static_cast<std::uint32_t>(residues.size()));
+  if (static_cast<int>(residues.size()) < k_) return;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(k_) <= residues.size(); ++i) {
+    const std::uint64_t key = pack_kmer(residues.substr(i, static_cast<std::size_t>(k_)));
+    if (key == 0) continue;
+    postings_[key].push_back({seq_id, static_cast<std::uint32_t>(i)});
+  }
+}
+
+std::vector<KmerSeedHit> KmerIndex::query(std::string_view residues, int min_seeds,
+                                          std::size_t max_hits) const {
+  // (sequence, diagonal-bucket) -> seed count. Diagonals are bucketed by
+  // 16 so small indels stay in one bucket.
+  std::unordered_map<std::uint64_t, int> diag_counts;
+  if (static_cast<int>(residues.size()) >= k_) {
+    for (std::size_t i = 0; i + static_cast<std::size_t>(k_) <= residues.size(); ++i) {
+      const std::uint64_t key = pack_kmer(residues.substr(i, static_cast<std::size_t>(k_)));
+      if (key == 0) continue;
+      const auto it = postings_.find(key);
+      if (it == postings_.end()) continue;
+      for (const Posting& p : it->second) {
+        const int diag = static_cast<int>(i) - static_cast<int>(p.pos);
+        const int bucket = (diag + (1 << 20)) >> 4;
+        const std::uint64_t slot =
+            (static_cast<std::uint64_t>(p.seq) << 24) | static_cast<std::uint64_t>(bucket);
+        ++diag_counts[slot];
+      }
+    }
+  }
+
+  // Keep the best diagonal per sequence.
+  std::unordered_map<std::uint32_t, KmerSeedHit> best;
+  for (const auto& [slot, count] : diag_counts) {
+    const auto seq = static_cast<std::uint32_t>(slot >> 24);
+    const int bucket = static_cast<int>(slot & 0xFFFFFF);
+    const int diag = (bucket << 4) - (1 << 20);
+    auto it = best.find(seq);
+    if (it == best.end() || count > it->second.seed_count) {
+      best[seq] = {seq, diag, count};
+    }
+  }
+
+  std::vector<KmerSeedHit> hits;
+  hits.reserve(best.size());
+  for (const auto& [seq, hit] : best) {
+    if (hit.seed_count >= min_seeds) hits.push_back(hit);
+  }
+  std::sort(hits.begin(), hits.end(), [](const KmerSeedHit& a, const KmerSeedHit& b) {
+    if (a.seed_count != b.seed_count) return a.seed_count > b.seed_count;
+    return a.sequence_index < b.sequence_index;
+  });
+  if (hits.size() > max_hits) hits.resize(max_hits);
+  return hits;
+}
+
+}  // namespace sf

@@ -1,0 +1,143 @@
+#include "seqsearch/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "bio/amino_acid.hpp"
+#include "seqsearch/alignment.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+
+void SequenceLibrary::add(LibraryEntry e) {
+  total_residues_ += e.sequence.length();
+  entries_.push_back(std::move(e));
+}
+
+double SequenceLibrary::estimated_bytes() const {
+  // FASTA bytes (1 byte/residue + headers) plus ~2.4x index/profile
+  // overhead, matching the ratio of the real 2.1 TB stack to its raw
+  // sequence content.
+  const double fasta = static_cast<double>(total_residues_) +
+                       64.0 * static_cast<double>(entries_.size());
+  return fasta * 3.4;
+}
+
+std::string indel_homolog(const std::string& parent, double identity, double indel_rate,
+                          Rng& rng) {
+  std::string out;
+  out.reserve(parent.size() + 8);
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (rng.chance(indel_rate)) {
+      if (rng.chance(0.5)) continue;  // deletion
+      // insertion: background-sampled residue, then the original column
+      std::vector<double> bg(kNumAminoAcids);
+      for (int a = 0; a < kNumAminoAcids; ++a) bg[static_cast<std::size_t>(a)] =
+          aa_background_freq(aa_from_index(a));
+      out += aa_from_index(static_cast<int>(rng.weighted_index(bg)));
+    }
+    const char aa = parent[i];
+    if (rng.chance(identity)) {
+      out += aa;
+    } else {
+      // BLOSUM-weighted substitution (excluding identity).
+      std::vector<double> w(kNumAminoAcids);
+      const auto& row = blosum62_row(aa);
+      for (int a = 0; a < kNumAminoAcids; ++a) {
+        const char cand = aa_from_index(a);
+        w[static_cast<std::size_t>(a)] =
+            cand == aa ? 0.0 : std::exp(0.5 * static_cast<double>(row[static_cast<std::size_t>(a)]));
+      }
+      out += aa_from_index(static_cast<int>(rng.weighted_index(w)));
+    }
+  }
+  if (out.empty()) out = parent.substr(0, 1);
+  return out;
+}
+
+SequenceLibrary generate_full_library(const FoldUniverse& universe,
+                                      const LibraryGenParams& params) {
+  SequenceLibrary lib("full_stack");
+  Rng root(params.seed, 0xF01D);
+  std::size_t serial = 0;
+  for (std::size_t f = 0; f < universe.size(); ++f) {
+    Rng rng = root.split(f);
+    const std::string& canonical = universe.canonical_sequence(f);
+    const int members = std::max(
+        1, static_cast<int>(std::lround(universe.family_weight(f) * params.members_per_weight *
+                                        rng.uniform(0.6, 1.4))));
+    // First member: the canonical itself (UniRef representative).
+    {
+      LibraryEntry e;
+      e.sequence = Sequence(format("lib%08zu", serial++), canonical,
+                            format("fold F%04zu canonical", f));
+      e.fold_index = f;
+      e.identity_to_canonical = 1.0;
+      e.source_db = "uniref";
+      lib.add(std::move(e));
+    }
+    std::vector<std::string> family_members{canonical};
+    for (int m = 1; m < members; ++m) {
+      LibraryEntry e;
+      std::string residues;
+      double identity;
+      if (rng.chance(params.near_duplicate_fraction) && !family_members.empty()) {
+        // Near-duplicate of an existing member: metagenomic redundancy.
+        const std::string& base = rng.pick(family_members);
+        identity = rng.uniform(0.91, 0.995);
+        residues = indel_homolog(base, identity, params.indel_rate * 0.2, rng);
+        e.source_db = rng.chance(0.7) ? "bfd" : "mgnify";
+      } else {
+        identity = std::clamp(rng.normal(0.55, 0.20), 0.25, 0.90);
+        residues = indel_homolog(canonical, identity, params.indel_rate, rng);
+        e.source_db = rng.chance(0.5) ? "uniref" : (rng.chance(0.6) ? "bfd" : "mgnify");
+        family_members.push_back(residues);
+      }
+      e.sequence = Sequence(format("lib%08zu", serial++), residues,
+                            format("fold F%04zu id %.2f", f, identity));
+      e.fold_index = f;
+      e.identity_to_canonical = identity;
+      lib.add(std::move(e));
+    }
+  }
+  return lib;
+}
+
+SequenceLibrary reduce_library(const SequenceLibrary& full, double identity_cutoff) {
+  SequenceLibrary reduced("reduced_stack");
+  // Greedy linear-scan clustering bucketed by fold family (ground-truth
+  // buckets stand in for the k-mer prefilter: cross-family sequences are
+  // never near-identical by construction).
+  std::unordered_map<std::size_t, std::vector<const LibraryEntry*>> kept_by_fold;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    const LibraryEntry& e = full.entry(i);
+    auto& kept = kept_by_fold[e.fold_index];
+    bool duplicate = false;
+    for (const LibraryEntry* k : kept) {
+      const std::size_t la = e.sequence.length();
+      const std::size_t lb = k->sequence.length();
+      // Length prefilter: >10% length difference cannot reach 90% identity
+      // at near-full coverage.
+      if (la > lb * 11 / 10 || lb > la * 11 / 10) continue;
+      // Alignment-based identity (indel-tolerant, as in MMseqs/CD-HIT):
+      // near-duplicates differ by point mutations and scattered indels,
+      // which positional identity would miss.
+      const AlignmentResult aln = banded_smith_waterman(
+          e.sequence.residues(), k->sequence.residues(), 0, 24);
+      const double coverage =
+          static_cast<double>(aln.pairs.size()) / static_cast<double>(std::min(la, lb));
+      if (coverage >= 0.85 && aln.identity >= identity_cutoff) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      reduced.add(e);
+      kept.push_back(&full.entry(i));
+    }
+  }
+  return reduced;
+}
+
+}  // namespace sf

@@ -1,0 +1,59 @@
+#include "seqsearch/search.hpp"
+
+#include <algorithm>
+
+namespace sf {
+
+SearchEngine::SearchEngine(const SequenceLibrary& library, SearchParams params)
+    : library_(&library), params_(params), index_(params.kmer_size) {
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    index_.add_sequence(library.entry(i).sequence.residues());
+  }
+}
+
+Msa SearchEngine::search(const Sequence& query, SearchCost* cost_out) const {
+  Msa msa(query.id());
+  const auto seeds =
+      index_.query(query.residues(), params_.min_seeds, params_.max_candidates);
+  if (cost_out) ++cost_out->index_lookups;
+
+  struct Scored {
+    MsaHit hit;
+    double evalue;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(seeds.size());
+
+  for (const auto& seed : seeds) {
+    const LibraryEntry& entry = library_->entry(seed.sequence_index);
+    const AlignmentResult aln = banded_smith_waterman(
+        query.residues(), entry.sequence.residues(), seed.diagonal, params_.band);
+    if (cost_out) {
+      ++cost_out->candidates_aligned;
+      cost_out->dp_cells += query.length() * static_cast<std::size_t>(2 * params_.band + 1);
+    }
+    if (aln.pairs.empty()) continue;
+    if (aln.query_coverage < params_.min_coverage) continue;
+    const double ev = evalue(aln.score, query.length(), library_->total_residues());
+    if (ev > params_.evalue_cutoff) continue;
+    MsaHit hit;
+    hit.subject_id = entry.sequence.id();
+    hit.subject_residues = entry.sequence.residues().substr(
+        static_cast<std::size_t>(aln.subject_begin),
+        static_cast<std::size_t>(aln.subject_end - aln.subject_begin));
+    hit.identity = aln.identity;
+    hit.query_coverage = aln.query_coverage;
+    hit.evalue = ev;
+    hit.score = aln.score;
+    hit.source_db = entry.source_db;
+    scored.push_back({std::move(hit), ev});
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.evalue < b.evalue; });
+  const std::size_t keep = std::min(scored.size(), params_.max_hits);
+  for (std::size_t i = 0; i < keep; ++i) msa.add_hit(std::move(scored[i].hit));
+  return msa;
+}
+
+}  // namespace sf

@@ -1,0 +1,33 @@
+#include "sim/cost_model.hpp"
+
+namespace sf {
+
+double InferenceCostModel::task_seconds(int length, int recycles, int ensembles,
+                                        double gpu_speed) const {
+  const double l = static_cast<double>(length);
+  const double per_pass = per_recycle_linear_s * l + per_recycle_quad_s * l * l;
+  // `recycles` counts network passes (initial inference + each recycle).
+  const double compute =
+      static_cast<double>(ensembles) * static_cast<double>(recycles) * per_pass;
+  return task_overhead_s + compute / (gpu_speed > 0.0 ? gpu_speed : 1.0);
+}
+
+double InferenceCostModel::prediction_seconds(const Prediction& pred, int length,
+                                              double gpu_speed) const {
+  // recycles_run counts recycles after the initial pass; +1 for pass 0.
+  const int passes = pred.trace.recycles_run + 1;
+  return task_seconds(length, passes, pred.ensembles, gpu_speed);
+}
+
+double FeatureCostModel::task_seconds(int length, bool full_library, double io_slowdown,
+                                      double cpu_node_speed) const {
+  double t = base_s + per_residue_s * static_cast<double>(length);
+  if (full_library) t *= full_library_factor;
+  // Split into compute-bound and IO-bound shares; only the IO share
+  // dilates under metadata contention.
+  const double io = t * io_fraction * io_slowdown;
+  const double compute = t * (1.0 - io_fraction) / (cpu_node_speed > 0.0 ? cpu_node_speed : 1.0);
+  return io + compute;
+}
+
+}  // namespace sf

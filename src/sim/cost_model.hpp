@@ -1,0 +1,59 @@
+// Task cost model: how long each pipeline task takes on each resource.
+//
+// Calibration anchors from the paper:
+//   * Table 1: 559 sequences (mean 202 AA), 5 models each, on 32 Summit
+//     nodes (192 GPUs): reduced_db 44 min wall, genome 50, super 58 (with
+//     ~16% overhead), casp14 > 150 min on 91 nodes.
+//   * §4.1: feature generation for a 3,205-protein proteome (mean 328 AA)
+//     took ~240 Andes node-hours vs ~400 Summit node-hours for inference.
+//   * §4.3.1: S. divinum (25,134 proteins) ~2,000 Andes node-hours for
+//     features, ~3,000 Summit node-hours for inference.
+// Inference cost is per (model, target) task and scales with ensembles x
+// recycles x (linear + quadratic-in-length attention work); feature
+// search cost scales with length x library size with an I/O-bound share
+// that the filesystem model can dilate.
+#pragma once
+
+#include <cstddef>
+
+#include "fold/engine.hpp"
+#include "sim/cluster.hpp"
+
+namespace sf {
+
+struct InferenceCostModel {
+  // Seconds per recycle for one model on a V100: linear + quadratic terms.
+  double per_recycle_linear_s = 0.08;    // * length
+  double per_recycle_quad_s = 3.4e-4;    // * length^2
+  // Fixed per-task costs: weights load, feature deserialization, JAX
+  // compilation amortization, result serialization.
+  double task_overhead_s = 28.0;
+  // Compilation happens per (model, padded-length bucket); the first task
+  // a worker runs in a bucket pays this.
+  double compile_s = 90.0;
+
+  // Wall seconds on a GPU of relative speed `gpu_speed` for a task that
+  // ran `recycles` recycles (recycles_run + the initial pass) with
+  // `ensembles` ensembles on a sequence of `length`.
+  double task_seconds(int length, int recycles, int ensembles, double gpu_speed = 1.0) const;
+
+  // Convenience: cost of a finished Prediction for a given length.
+  double prediction_seconds(const Prediction& pred, int length, double gpu_speed = 1.0) const;
+};
+
+struct FeatureCostModel {
+  // CPU-seconds on a reference (Andes) node for the alignment stack
+  // against the reduced library; the full library costs `full_factor`
+  // more. Mix of per-length and fixed HMM/profile costs.
+  double base_s = 180.0;
+  double per_residue_s = 0.28;
+  double full_library_factor = 3.6;
+  // Fraction of the task that is filesystem-bound (metadata + reads);
+  // this share dilates under contention (sim/filesystem.hpp).
+  double io_fraction = 0.35;
+
+  double task_seconds(int length, bool full_library, double io_slowdown = 1.0,
+                      double cpu_node_speed = 1.0) const;
+};
+
+}  // namespace sf

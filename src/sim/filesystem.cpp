@@ -1,0 +1,45 @@
+#include "sim/filesystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf {
+
+double FilesystemModel::io_slowdown(int jobs_on_replica) const {
+  if (jobs_on_replica <= 0) return 1.0;
+  const double rho = per_job_demand * static_cast<double>(jobs_on_replica);
+  // M/M/1 latency below saturation; past it, requests queue and the
+  // dilation keeps growing with offered load (client retry/backoff), so
+  // piling more jobs on a saturated replica keeps getting worse.
+  constexpr double kRhoKnee = 0.95;
+  const double at_knee = 1.0 / (1.0 - kRhoKnee);
+  const double s = rho < kRhoKnee ? 1.0 / (1.0 - rho) : at_knee * (rho / kRhoKnee);
+  return std::min(max_slowdown, s);
+}
+
+double FilesystemModel::staging_seconds(double library_bytes, int replicas) const {
+  if (replicas <= 0) return 0.0;
+  return library_bytes * static_cast<double>(replicas) / copy_bandwidth_bytes_per_s;
+}
+
+double FilesystemModel::fleet_throughput(int total_jobs, int replicas,
+                                         double task_seconds_unloaded,
+                                         double io_fraction) const {
+  if (total_jobs <= 0 || replicas <= 0 || task_seconds_unloaded <= 0.0) return 0.0;
+  // Round-robin: the first (total_jobs % replicas) replicas carry one
+  // extra job. Sum per-job rates.
+  const int base = total_jobs / replicas;
+  const int heavy = total_jobs % replicas;
+  double rate = 0.0;
+  for (int r = 0; r < replicas; ++r) {
+    const int jobs = base + (r < heavy ? 1 : 0);
+    if (jobs == 0) continue;
+    const double slow = io_slowdown(jobs);
+    const double task_s =
+        task_seconds_unloaded * ((1.0 - io_fraction) + io_fraction * slow);
+    rate += static_cast<double>(jobs) / task_s;
+  }
+  return rate;
+}
+
+}  // namespace sf

@@ -1,0 +1,44 @@
+// Shared-filesystem metadata contention model (§3.2.1).
+//
+// HH-suite's many small reads hammer the parallel filesystem's metadata
+// servers; the paper's mitigation was 24 identical copies of the reduced
+// sequence libraries with 4 concurrent jobs per copy. We model each
+// replica's metadata service as an M/M/1-style server: jobs impose load
+// rho = jobs * demand; the latency dilation is 1/(1 - rho) below
+// saturation and effectively unbounded above it. The replica-count
+// ablation bench sweeps (replicas, jobs-per-replica) and reproduces the
+// knee that motivates the 24 x 4 layout.
+#pragma once
+
+#include <cstddef>
+
+namespace sf {
+
+struct FilesystemModel {
+  // Fraction of one replica's metadata capacity a single feature-
+  // generation job consumes. 0.11 places the knee near 4 jobs/replica.
+  double per_job_demand = 0.11;
+  // Dilation cap: beyond saturation, jobs still make progress through
+  // client-side retry/backoff, just miserably.
+  double max_slowdown = 200.0;
+  // Storage cost per replica in bytes is supplied by the library; the
+  // copy itself is parallel (mpiFileUtils) at this aggregate bandwidth.
+  double copy_bandwidth_bytes_per_s = 12.0e9;
+
+  // Latency dilation for a job when `jobs_on_replica` share one replica.
+  double io_slowdown(int jobs_on_replica) const;
+
+  // Seconds to stage `replicas` copies of a library of `bytes` with
+  // mpiFileUtils-style parallel copy (copies proceed concurrently but
+  // share the aggregate bandwidth).
+  double staging_seconds(double library_bytes, int replicas) const;
+
+  // Aggregate feature-generation throughput (tasks/s) for a fleet of
+  // `total_jobs` spread round-robin over `replicas` copies, where each
+  // job completes one task in `task_seconds_unloaded` seconds at
+  // io_fraction filesystem share.
+  double fleet_throughput(int total_jobs, int replicas, double task_seconds_unloaded,
+                          double io_fraction) const;
+};
+
+}  // namespace sf

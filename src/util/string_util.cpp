@@ -1,0 +1,82 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sf {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+std::string human_duration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<long long>(std::llround(seconds));
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  if (h > 0) return format("%lldh %02lldm %02llds", h, m, s);
+  if (m > 0) return format("%lldm %02llds", m, s);
+  return format("%.1fs", seconds);
+}
+
+std::string human_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 5) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return format("%.2f %s", bytes, units[u]);
+}
+
+}  // namespace sf

@@ -1,0 +1,24 @@
+// Small string helpers shared across modules (no locale, ASCII only).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sf {
+
+std::vector<std::string> split(std::string_view s, char delim);
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+std::string to_lower(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style convenience used by report printers; bounded buffer.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// "1h 23m 45s" style rendering of a duration in seconds.
+std::string human_duration(double seconds);
+// "2.1 TB" style rendering of a byte count.
+std::string human_bytes(double bytes);
+
+}  // namespace sf

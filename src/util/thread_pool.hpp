@@ -1,0 +1,70 @@
+// Fixed-size worker pool with a shared task queue.
+//
+// This is the execution substrate for dataflow::ThreadedExecutor (the
+// "real" Dask backend that runs actual relaxations/inferences on host
+// threads). Design follows the usual HPC idiom: workers block on a
+// condition variable, submission returns std::future, shutdown is
+// explicit and joins all threads (RAII in the destructor as backstop).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sf {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a callable; returns a future for its result. Throws
+  // std::runtime_error if the pool is already shut down.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args) -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::bind(std::forward<F>(f), std::forward<Args>(args)...));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Block until the queue drains and all in-flight tasks finish.
+  void wait_idle();
+
+  // Stop accepting work, drain the queue, join workers. Idempotent.
+  void shutdown();
+
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sf

@@ -1,0 +1,108 @@
+// Cross-validation of the affine-gap DP against an exhaustive reference
+// on tiny inputs: the optimal local alignment score must match a
+// brute-force enumeration of all (start, end) substring pairs aligned by
+// a simple O(n m) recursion with affine gaps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bio/amino_acid.hpp"
+#include "seqsearch/alignment.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+// Reference local score: standard Gotoh on full matrices, no traceback,
+// written independently of the production code (different layout,
+// different recurrence order) to be a genuine cross-check.
+int reference_local_score(const std::string& q, const std::string& s, int open, int ext) {
+  const int n = static_cast<int>(q.size());
+  const int m = static_cast<int>(s.size());
+  const int kNeg = -1000000;
+  std::vector<std::vector<int>> H(n + 1, std::vector<int>(m + 1, 0));
+  std::vector<std::vector<int>> E(n + 1, std::vector<int>(m + 1, kNeg));
+  std::vector<std::vector<int>> F(n + 1, std::vector<int>(m + 1, kNeg));
+  int best = 0;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      E[i][j] = std::max(H[i][j - 1] + open, E[i][j - 1] + ext);
+      F[i][j] = std::max(H[i - 1][j] + open, F[i - 1][j] + ext);
+      const int diag = H[i - 1][j - 1] + blosum62(q[i - 1], s[j - 1]);
+      H[i][j] = std::max({0, diag, E[i][j], F[i][j]});
+      best = std::max(best, H[i][j]);
+    }
+  }
+  return best;
+}
+
+std::string random_seq(int n, Rng& rng) {
+  std::string s;
+  for (int i = 0; i < n; ++i) {
+    s += aa_from_index(static_cast<int>(rng.uniform_int(0, kNumAminoAcids - 1)));
+  }
+  return s;
+}
+
+class SwBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwBruteForce, MatchesReference) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string q = random_seq(static_cast<int>(rng.uniform_int(1, 18)), rng);
+    const std::string s = random_seq(static_cast<int>(rng.uniform_int(1, 18)), rng);
+    const AlignmentParams params;
+    const AlignmentResult r = smith_waterman(q, s, params);
+    const int ref = reference_local_score(q, s, params.gap_open, params.gap_extend);
+    EXPECT_EQ(r.score, ref) << "q=" << q << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwBruteForce, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SwBruteForce, RelatedSequencesToo) {
+  // Homologous pairs exercise long diagonal runs with internal gaps.
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::string q = random_seq(25, rng);
+    std::string s = q;
+    // A deletion and two substitutions.
+    s.erase(static_cast<std::size_t>(rng.uniform_int(3, 18)), 2);
+    s[2] = s[2] == 'A' ? 'W' : 'A';
+    const AlignmentParams params;
+    EXPECT_EQ(smith_waterman(q, s, params).score,
+              reference_local_score(q, s, params.gap_open, params.gap_extend));
+  }
+}
+
+TEST(SwBruteForce, ScoreConsistentWithReportedPairs) {
+  // The score reconstructed from the traceback (sum of substitution
+  // scores + affine gap penalties between non-contiguous pairs) must
+  // equal the reported score.
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::string q = random_seq(30, rng);
+    std::string s = q;
+    s.insert(10, "WW");
+    s[20] = s[20] == 'G' ? 'K' : 'G';
+    const AlignmentParams params;
+    const AlignmentResult r = smith_waterman(q, s, params);
+    int rebuilt = 0;
+    for (std::size_t k = 0; k < r.pairs.size(); ++k) {
+      const auto [qi, sj] = r.pairs[k];
+      rebuilt += blosum62(q[static_cast<std::size_t>(qi)], s[static_cast<std::size_t>(sj)]);
+      if (k > 0) {
+        const int dq = qi - r.pairs[k - 1].first - 1;
+        const int ds = sj - r.pairs[k - 1].second - 1;
+        for (int g : {dq, ds}) {
+          if (g > 0) rebuilt += params.gap_open + (g - 1) * params.gap_extend;
+        }
+      }
+    }
+    EXPECT_EQ(rebuilt, r.score);
+  }
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,103 @@
+#include "analysis/annotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/species.hpp"
+
+namespace sf {
+namespace {
+
+struct AnnotationWorld {
+  FoldUniverse universe{20, 61};
+  FoldingEngine engine{universe};
+  FoldLibrary library;
+  std::vector<ProteinRecord> hypotheticals;
+
+  AnnotationWorld() : library(universe, library_indices()) {
+    SpeciesProfile profile = species_d_vulgaris();
+    profile.hypothetical_fraction = 1.0;
+    profile.novel_fold_fraction = 0.0;
+    profile.length_max = 400;  // keep the test fast
+    auto records = ProteomeGenerator(universe, profile, 3).generate(12);
+    hypotheticals = std::move(records);
+  }
+
+  static std::vector<std::size_t> library_indices() {
+    std::vector<std::size_t> v;
+    for (std::size_t i = 0; i < 20; ++i) v.push_back(i);
+    return v;
+  }
+};
+
+TEST(Annotation, StructuralSearchRecoversAnnotations) {
+  AnnotationWorld w;
+  AnnotationParams params;
+  params.shortlist = 8;
+  const AnnotationSummary summary =
+      annotate_hypotheticals(w.engine, w.library, w.hypotheticals, params);
+  EXPECT_EQ(summary.total, 12);
+  EXPECT_EQ(summary.outcomes.size(), 12u);
+  // A majority of hypotheticals get a confident structural match, since
+  // their folds genuinely exist in the library.
+  EXPECT_GT(summary.structural_match, 5);
+  // Matches overwhelmingly point at the generating fold.
+  EXPECT_GE(summary.correct_fold_matches * 3, summary.structural_match * 2);
+}
+
+TEST(Annotation, LowIdentityMatchesExist) {
+  AnnotationWorld w;
+  const AnnotationSummary summary =
+      annotate_hypotheticals(w.engine, w.library, w.hypotheticals);
+  // §4.6's headline: most structural matches sit below 20% sequence
+  // identity, where HMM methods fail.
+  EXPECT_GE(summary.match_below_20_identity, summary.structural_match / 2 - 1);
+  EXPECT_LE(summary.match_below_10_identity, summary.match_below_20_identity);
+}
+
+// Counts outcomes that are not structural matches.
+int count_non_matches(const AnnotationSummary& summary) {
+  int n = 0;
+  for (const auto& o : summary.outcomes) {
+    if (o.top_tm < 0.60) ++n;
+  }
+  return n;
+}
+
+TEST(Annotation, NovelFoldsBecomeCandidates) {
+  // Library missing folds 0-4: targets from those folds with confident
+  // predictions should be flagged as novel candidates.
+  FoldUniverse universe(20, 61);
+  std::vector<std::size_t> partial;
+  for (std::size_t i = 5; i < 20; ++i) partial.push_back(i);
+  FoldLibrary library(universe, partial);
+  FoldingEngine engine(universe);
+
+  SpeciesProfile profile = species_d_vulgaris();
+  profile.hypothetical_fraction = 1.0;
+  profile.length_max = 350;
+  profile.hardness_mean = 0.05;  // confident predictions
+  profile.hardness_sd = 0.03;
+  auto records = ProteomeGenerator(universe, profile, 4).generate(40);
+  // Keep only targets whose fold is absent from the library.
+  std::vector<ProteinRecord> absent;
+  for (auto& r : records) {
+    if (r.fold_index < 5) absent.push_back(r);
+  }
+  ASSERT_GT(absent.size(), 2u);
+
+  AnnotationParams params;
+  params.novel_plddt_cutoff = 75.0;
+  const AnnotationSummary summary = annotate_hypotheticals(engine, library, absent, params);
+  EXPECT_GT(summary.novel_candidates, 0);
+  EXPECT_EQ(summary.structural_match + count_non_matches(summary), summary.total);
+}
+
+TEST(Annotation, EmptyInputIsSafe) {
+  AnnotationWorld w;
+  const AnnotationSummary summary = annotate_hypotheticals(w.engine, w.library, {});
+  EXPECT_EQ(summary.total, 0);
+  EXPECT_TRUE(summary.outcomes.empty());
+}
+
+}  // namespace
+}  // namespace sf

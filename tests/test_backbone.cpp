@@ -1,0 +1,115 @@
+#include "geom/backbone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sf {
+namespace {
+
+TEST(Backbone, TraceHasCorrectLengthAndBonds) {
+  Rng rng(5);
+  const std::string ss(60, 'H');
+  const auto trace = build_ca_trace(ss, rng);
+  ASSERT_EQ(trace.size(), 60u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NEAR(distance(trace[i - 1], trace[i]), 3.8, 1e-6);
+  }
+}
+
+TEST(Backbone, HelixGeometry) {
+  Rng rng(5);
+  const auto trace = build_ca_trace(std::string(40, 'H'), rng);
+  // Alpha-helix CA(i)-CA(i+3) distance is ~5-6 A (vs 10+ extended).
+  double mean_i3 = 0.0;
+  for (std::size_t i = 0; i + 3 < trace.size(); ++i) mean_i3 += distance(trace[i], trace[i + 3]);
+  mean_i3 /= static_cast<double>(trace.size() - 3);
+  EXPECT_LT(mean_i3, 7.0);
+  EXPECT_GT(mean_i3, 4.0);
+}
+
+TEST(Backbone, StrandIsExtended) {
+  Rng rng(5);
+  const auto trace = build_ca_trace(std::string(20, 'E'), rng);
+  // Strand end-to-end distance grows nearly linearly.
+  EXPECT_GT(distance(trace.front(), trace.back()), 0.7 * 19.0 * 3.3);
+}
+
+TEST(Backbone, DeterministicGivenRngState) {
+  Rng a(9), b(9);
+  const std::string ss = "HHHHHHHHCCCEEEEECCCHHHHHHH";
+  const auto t1 = build_ca_trace(ss, a);
+  const auto t2 = build_ca_trace(ss, b);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) EXPECT_NEAR(distance(t1[i], t2[i]), 0.0, 1e-12);
+}
+
+TEST(Backbone, CompactGlobule) {
+  Rng rng(21);
+  std::string ss;
+  for (int k = 0; k < 8; ++k) ss += std::string(10, 'H') + std::string(4, 'C');
+  const auto trace = build_ca_trace(ss, rng);
+  Vec3 c;
+  for (const auto& p : trace) c += p;
+  c = c / static_cast<double>(trace.size());
+  double rg2 = 0.0;
+  for (const auto& p : trace) rg2 += distance2(p, c);
+  const double rg = std::sqrt(rg2 / static_cast<double>(trace.size()));
+  // Globular scaling with generous slack (random-coil would be much larger).
+  const double ideal = 2.2 * std::pow(static_cast<double>(trace.size()), 0.38);
+  EXPECT_LT(rg, ideal * 2.5);
+  EXPECT_GT(rg, ideal * 0.4);
+}
+
+TEST(Backbone, TinyChains) {
+  Rng rng(3);
+  EXPECT_TRUE(build_ca_trace("", rng).empty());
+  EXPECT_EQ(build_ca_trace("H", rng).size(), 1u);
+  EXPECT_EQ(build_ca_trace("HH", rng).size(), 2u);
+  EXPECT_EQ(build_ca_trace("HHH", rng).size(), 3u);
+}
+
+TEST(Backbone, BuildStructurePlacesAllAtoms) {
+  Rng rng(11);
+  std::vector<ResidueSpec> spec;
+  for (int i = 0; i < 30; ++i) {
+    ResidueSpec rs;
+    rs.aa = i % 2 ? 'W' : 'G';
+    rs.heavy_atoms = i % 2 ? 14 : 4;
+    rs.has_cb = i % 2 != 0;
+    rs.has_sc = i % 2 != 0;
+    spec.push_back(rs);
+  }
+  const Structure s = build_structure("t", spec, std::string(30, 'H'), rng);
+  ASSERT_EQ(s.size(), 30u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Residue& r = s.residue(i);
+    // N and C within bonding distance of CA.
+    EXPECT_NEAR(distance(r.n, r.ca), 1.46, 0.01);
+    EXPECT_NEAR(distance(r.c, r.ca), 1.52, 0.01);
+    EXPECT_NEAR(distance(r.o, r.c), 1.23, 0.01);
+    if (r.has_cb) EXPECT_NEAR(distance(r.cb, r.ca), 1.53, 0.01);
+    if (r.has_sc) {
+      // Bulky TRP sidechain centroid reaches ~3.9 A.
+      EXPECT_NEAR(distance(r.sc, r.ca), 1.8 + 0.23 * 9, 0.01);
+    }
+  }
+}
+
+TEST(Backbone, SsStringShorterThanSpecIsPadded) {
+  Rng rng(11);
+  std::vector<ResidueSpec> spec(10);
+  const Structure s = build_structure("t", spec, "HH", rng);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(Backbone, SsClassPredicates) {
+  EXPECT_TRUE(is_helix('H'));
+  EXPECT_TRUE(is_helix('G'));
+  EXPECT_TRUE(is_strand('E'));
+  EXPECT_FALSE(is_helix('E'));
+  EXPECT_FALSE(is_strand('C'));
+}
+
+}  // namespace
+}  // namespace sf

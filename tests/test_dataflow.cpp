@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "dataflow/simulated.hpp"
+#include "dataflow/stats.hpp"
+#include "dataflow/task.hpp"
+#include "dataflow/threaded.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+std::vector<TaskSpec> make_tasks(int n, std::uint64_t cost_seed = 3) {
+  Rng rng(cost_seed);
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = static_cast<std::uint64_t>(i);
+    t.name = "task" + std::to_string(i);
+    t.cost_hint = rng.lognormal(4.0, 0.8);
+    t.payload = static_cast<std::size_t>(i);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TEST(TaskOrder, Policies) {
+  auto tasks = make_tasks(50);
+  apply_order(tasks, TaskOrder::kDescendingCost);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_GE(tasks[i - 1].cost_hint, tasks[i].cost_hint);
+  }
+  apply_order(tasks, TaskOrder::kAscendingCost);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_LE(tasks[i - 1].cost_hint, tasks[i].cost_hint);
+  }
+  auto shuffled = tasks;
+  apply_order(shuffled, TaskOrder::kRandom, 5);
+  std::multiset<std::uint64_t> a, b;
+  for (const auto& t : tasks) a.insert(t.id);
+  for (const auto& t : shuffled) b.insert(t.id);
+  EXPECT_EQ(a, b);  // permutation
+}
+
+TEST(SimulatedDataflow, EveryTaskRunsExactlyOnce) {
+  const auto tasks = make_tasks(200);
+  SimulatedDataflowParams params;
+  params.workers = 16;
+  const auto res = run_simulated_dataflow(
+      tasks, [](const TaskSpec& t) { return t.cost_hint; }, params);
+  ASSERT_EQ(res.records.size(), tasks.size());
+  std::set<std::uint64_t> seen;
+  for (const auto& r : res.records) seen.insert(r.task_id);
+  EXPECT_EQ(seen.size(), tasks.size());
+}
+
+TEST(SimulatedDataflow, NoWorkerOverlapsItself) {
+  const auto tasks = make_tasks(100);
+  SimulatedDataflowParams params;
+  params.workers = 4;
+  const auto res = run_simulated_dataflow(
+      tasks, [](const TaskSpec& t) { return t.cost_hint; }, params);
+  // Group records by worker and check intervals are disjoint.
+  for (int w = 0; w < params.workers; ++w) {
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& r : res.records) {
+      if (r.worker == w) spans.emplace_back(r.start_s, r.end_s);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9);
+    }
+  }
+}
+
+TEST(SimulatedDataflow, MakespanBounds) {
+  const auto tasks = make_tasks(120);
+  double total = 0.0;
+  double longest = 0.0;
+  for (const auto& t : tasks) {
+    total += t.cost_hint;
+    longest = std::max(longest, t.cost_hint);
+  }
+  SimulatedDataflowParams params;
+  params.workers = 8;
+  params.dispatch_overhead_s = 0.0;
+  params.startup_s = 0.0;
+  const auto res = run_simulated_dataflow(
+      tasks, [](const TaskSpec& t) { return t.cost_hint; }, params);
+  EXPECT_GE(res.makespan_s, total / 8.0 - 1e-9);  // perfect-split lower bound
+  EXPECT_GE(res.makespan_s, longest);
+  EXPECT_LE(res.makespan_s, total);  // never worse than serial
+}
+
+TEST(SimulatedDataflow, SortedBeatsRandomOnHeterogeneousTasks) {
+  // The paper's §3.3 justification: random order can strand a long task
+  // at the end; descending sort bounds the tail (Fig. 2).
+  auto sorted = make_tasks(300, 11);
+  auto random = sorted;
+  apply_order(sorted, TaskOrder::kDescendingCost);
+  apply_order(random, TaskOrder::kRandom, 1234);
+  SimulatedDataflowParams params;
+  params.workers = 24;
+  params.startup_s = 0.0;
+  auto dur = [](const TaskSpec& t) { return t.cost_hint; };
+  const auto res_sorted = run_simulated_dataflow(sorted, dur, params);
+  const auto res_random = run_simulated_dataflow(random, dur, params);
+  EXPECT_LE(res_sorted.makespan_s, res_random.makespan_s + 1e-9);
+  EXPECT_LE(res_sorted.finish_spread_s(), res_random.finish_spread_s() + 1e-9);
+}
+
+TEST(SimulatedDataflow, UtilizationAndSpreadSane) {
+  auto tasks = make_tasks(400);
+  apply_order(tasks, TaskOrder::kDescendingCost);
+  SimulatedDataflowParams params;
+  params.workers = 10;
+  const auto res = run_simulated_dataflow(
+      tasks, [](const TaskSpec& t) { return t.cost_hint; }, params);
+  EXPECT_GT(res.mean_utilization(), 0.8);
+  EXPECT_LE(res.mean_utilization(), 1.0 + 1e-9);
+  // All workers finish within a small fraction of the makespan.
+  EXPECT_LT(res.finish_spread_s(), 0.25 * res.makespan_s);
+  EXPECT_EQ(res.worker_task_count.size(), 10u);
+}
+
+TEST(SimulatedDataflow, HeterogeneousWorkerSpeeds) {
+  const auto tasks = make_tasks(100);
+  SimulatedDataflowParams params;
+  params.workers = 2;
+  params.worker_speed = {1.0, 4.0};
+  const auto res = run_simulated_dataflow(
+      tasks, [](const TaskSpec& t) { return t.cost_hint; }, params);
+  // The fast worker should complete far more tasks.
+  EXPECT_GT(res.worker_task_count[1], res.worker_task_count[0] * 2);
+}
+
+TEST(SimulatedDataflow, InvalidParamsThrow) {
+  SimulatedDataflowParams bad;
+  bad.workers = 0;
+  EXPECT_THROW(
+      run_simulated_dataflow({}, [](const TaskSpec&) { return 1.0; }, bad),
+      std::invalid_argument);
+  SimulatedDataflowParams mismatch;
+  mismatch.workers = 3;
+  mismatch.worker_speed = {1.0};
+  EXPECT_THROW(
+      run_simulated_dataflow({}, [](const TaskSpec&) { return 1.0; }, mismatch),
+      std::invalid_argument);
+}
+
+TEST(SimulatedDataflow, MoreWorkersThanTasks) {
+  const auto tasks = make_tasks(3);
+  SimulatedDataflowParams params;
+  params.workers = 10;
+  const auto res = run_simulated_dataflow(
+      tasks, [](const TaskSpec& t) { return t.cost_hint; }, params);
+  EXPECT_EQ(res.records.size(), 3u);
+  EXPECT_EQ(res.finish_spread_s(), res.finish_spread_s());  // finite
+}
+
+TEST(ThreadedDataflow, MapReturnsResultsInOrder) {
+  ThreadedDataflow flow(4);
+  const auto tasks = make_tasks(60);
+  const std::function<int(const TaskSpec&)> fn = [](const TaskSpec& t) {
+    return static_cast<int>(t.payload) * 2;
+  };
+  const auto results = flow.map<int>(tasks, fn);
+  ASSERT_EQ(results.size(), 60u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 2);
+  }
+  const auto records = flow.take_records();
+  EXPECT_EQ(records.size(), 60u);
+  EXPECT_TRUE(flow.take_records().empty());  // drained
+}
+
+TEST(TaskStats, CsvRoundTrip) {
+  std::vector<TaskRecord> records{
+      {1, "a/model1", 0, 0.0, 5.0},
+      {2, "b,with,commas", 1, 1.0, 2.0},
+  };
+  std::ostringstream out;
+  write_task_stats_csv(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = read_task_stats_csv(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "a/model1");
+  EXPECT_EQ(parsed[1].name, "b,with,commas");
+  EXPECT_DOUBLE_EQ(parsed[0].end_s, 5.0);
+  EXPECT_EQ(parsed[1].worker, 1);
+}
+
+TEST(TaskStats, TimelineRendering) {
+  std::vector<TaskRecord> records{
+      {1, "a", 0, 0.0, 50.0},
+      {2, "b", 0, 50.0, 100.0},
+      {3, "c", 1, 0.0, 100.0},
+  };
+  const std::string timeline = render_worker_timeline(records, {0, 1}, 100.0, 40);
+  EXPECT_NE(timeline.find("worker 0"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_EQ(render_worker_timeline(records, {0}, 0.0, 40), "");
+}
+
+TEST(TaskStats, SampleWorkers) {
+  std::vector<TaskRecord> records;
+  for (int w = 0; w < 100; ++w) records.push_back({0, "t", w, 0.0, 1.0});
+  const auto picked = sample_workers(records, 10);
+  EXPECT_EQ(picked.size(), 10u);
+  const auto all = sample_workers(records, 0);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+}  // namespace
+}  // namespace sf

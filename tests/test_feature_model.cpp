@@ -1,0 +1,90 @@
+#include "seqsearch/feature_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/species.hpp"
+
+namespace sf {
+namespace {
+
+std::vector<ProteinRecord> sample_records(int n) {
+  FoldUniverse universe(40, 3);
+  return ProteomeGenerator(universe, species_d_vulgaris(), 9).generate(n);
+}
+
+TEST(FeatureModel, DeterministicPerRecord) {
+  const auto records = sample_records(5);
+  for (const auto& r : records) {
+    const InputFeatures a = sample_features(r, LibraryKind::kReduced);
+    const InputFeatures b = sample_features(r, LibraryKind::kReduced);
+    EXPECT_EQ(a.msa_depth, b.msa_depth);
+    EXPECT_DOUBLE_EQ(a.neff, b.neff);
+    EXPECT_EQ(a.has_templates, b.has_templates);
+  }
+}
+
+TEST(FeatureModel, DepthTracksFamilySize) {
+  const auto records = sample_records(400);
+  double depth_small = 0.0, depth_big = 0.0;
+  int n_small = 0, n_big = 0;
+  for (const auto& r : records) {
+    const InputFeatures f = sample_features(r, LibraryKind::kFull);
+    if (r.family_size < 200) {
+      depth_small += f.msa_depth;
+      ++n_small;
+    } else if (r.family_size > 1500) {
+      depth_big += f.msa_depth;
+      ++n_big;
+    }
+  }
+  ASSERT_GT(n_small, 3);
+  ASSERT_GT(n_big, 3);
+  EXPECT_GT(depth_big / n_big, depth_small / n_small);
+}
+
+TEST(FeatureModel, ReducedLibraryShrinksDepthKeepsNeff) {
+  const auto records = sample_records(300);
+  double depth_full = 0.0, depth_red = 0.0, neff_full = 0.0, neff_red = 0.0;
+  for (const auto& r : records) {
+    const InputFeatures f = sample_features(r, LibraryKind::kFull);
+    const InputFeatures g = sample_features(r, LibraryKind::kReduced);
+    depth_full += f.msa_depth;
+    depth_red += g.msa_depth;
+    neff_full += f.neff;
+    neff_red += g.neff;
+  }
+  EXPECT_LT(depth_red, 0.6 * depth_full);   // raw rows drop a lot
+  EXPECT_GT(neff_red, 0.85 * neff_full);    // diversity barely moves
+}
+
+TEST(FeatureModel, HardTargetsHaveShallowerNeff) {
+  const auto records = sample_records(400);
+  double neff_easy = 0.0, neff_hard = 0.0;
+  int n_easy = 0, n_hard = 0;
+  for (const auto& r : records) {
+    const InputFeatures f = sample_features(r, LibraryKind::kReduced);
+    if (r.hardness < 0.2) {
+      neff_easy += f.neff;
+      ++n_easy;
+    } else if (r.hardness > 0.5) {
+      neff_hard += f.neff;
+      ++n_hard;
+    }
+  }
+  ASSERT_GT(n_easy, 3);
+  ASSERT_GT(n_hard, 3);
+  EXPECT_GT(neff_easy / n_easy, neff_hard / n_hard);
+}
+
+TEST(FeatureModel, FieldsPopulated) {
+  const auto records = sample_records(1);
+  const InputFeatures f = sample_features(records[0], LibraryKind::kReduced);
+  EXPECT_EQ(f.target_id, records[0].sequence.id());
+  EXPECT_EQ(f.length, records[0].length());
+  EXPECT_GE(f.neff, 0.0);
+  EXPECT_GE(f.mean_identity, 0.2);
+  EXPECT_LE(f.mean_identity, 0.9);
+}
+
+}  // namespace
+}  // namespace sf

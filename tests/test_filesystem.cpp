@@ -1,0 +1,75 @@
+#include "sim/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+TEST(Filesystem, SlowdownMonotoneInLoad) {
+  const FilesystemModel fs;
+  double prev = 0.0;
+  for (int jobs = 0; jobs <= 12; ++jobs) {
+    const double s = fs.io_slowdown(jobs);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(fs.io_slowdown(0), 1.0);
+}
+
+TEST(Filesystem, SaturationIsCapped) {
+  const FilesystemModel fs;
+  // rho >= 1 -> capped, not infinite.
+  EXPECT_DOUBLE_EQ(fs.io_slowdown(100), fs.max_slowdown);
+}
+
+TEST(Filesystem, PaperOperatingPointIsComfortable) {
+  // 4 jobs per replica (the paper's layout) keeps latency under ~2x;
+  // piling everything on one copy saturates it.
+  const FilesystemModel fs;
+  EXPECT_LT(fs.io_slowdown(4), 2.1);
+  EXPECT_GT(fs.io_slowdown(10), fs.io_slowdown(4) * 2.0);
+}
+
+TEST(Filesystem, StagingCostScalesWithReplicas) {
+  const FilesystemModel fs;
+  const double gb420 = 420.0 * 1e9;
+  EXPECT_NEAR(fs.staging_seconds(gb420, 24) / fs.staging_seconds(gb420, 1), 24.0, 1e-9);
+  EXPECT_EQ(fs.staging_seconds(gb420, 0), 0.0);
+}
+
+TEST(Filesystem, ThroughputPeaksNearPaperLayout) {
+  // With 96 concurrent jobs, spreading over 24 replicas (4 each) beats
+  // both extremes: few replicas (contention) is worse; as many replicas
+  // as feasible helps throughput but costs storage -- the knee justifies
+  // the paper's choice.
+  const FilesystemModel fs;
+  const double task_s = 270.0;
+  const double io_frac = 0.35;
+  const double t1 = fs.fleet_throughput(96, 1, task_s, io_frac);
+  const double t6 = fs.fleet_throughput(96, 6, task_s, io_frac);
+  const double t24 = fs.fleet_throughput(96, 24, task_s, io_frac);
+  const double t48 = fs.fleet_throughput(96, 48, task_s, io_frac);
+  EXPECT_GT(t6, t1);
+  EXPECT_GT(t24, t6);
+  // Diminishing returns past the knee: doubling replicas again buys little.
+  EXPECT_LT(t48 / t24, 1.30);
+}
+
+TEST(Filesystem, ThroughputDegenerateInputs) {
+  const FilesystemModel fs;
+  EXPECT_EQ(fs.fleet_throughput(0, 4, 100.0, 0.3), 0.0);
+  EXPECT_EQ(fs.fleet_throughput(4, 0, 100.0, 0.3), 0.0);
+  EXPECT_EQ(fs.fleet_throughput(4, 4, 0.0, 0.3), 0.0);
+}
+
+TEST(Filesystem, UnevenSpreadHandled) {
+  const FilesystemModel fs;
+  // 5 jobs over 4 replicas: one replica carries 2.
+  const double t = fs.fleet_throughput(5, 4, 100.0, 0.35);
+  EXPECT_GT(t, 0.0);
+  // Still better than all 5 on one replica.
+  EXPECT_GT(t, fs.fleet_throughput(5, 1, 100.0, 0.35));
+}
+
+}  // namespace
+}  // namespace sf

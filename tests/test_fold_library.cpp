@@ -1,0 +1,92 @@
+#include "analysis/fold_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+struct LibraryWorld {
+  FoldUniverse universe{25, 51};
+  FoldLibrary library;
+
+  static std::vector<std::size_t> all_indices(std::size_t n) {
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = i;
+    return v;
+  }
+
+  LibraryWorld() : library(universe, all_indices(25)) {}
+};
+
+TEST(FoldLibrary, BuildsOneEntryPerFold) {
+  LibraryWorld w;
+  ASSERT_EQ(w.library.size(), 25u);
+  for (std::size_t i = 0; i < w.library.size(); ++i) {
+    const auto& e = w.library.entry(i);
+    EXPECT_EQ(e.fold_index, i);
+    EXPECT_FALSE(e.annotation.empty());
+    EXPECT_GT(e.length, 0);
+    EXPECT_GT(e.radius_of_gyration, 0.0);
+  }
+}
+
+TEST(FoldLibrary, SearchFindsOwnFold) {
+  LibraryWorld w;
+  // Query with (noisy copies of) library members: the generating fold
+  // must be the top hit.
+  int correct = 0;
+  const int probes = 6;
+  for (std::size_t f = 0; f < static_cast<std::size_t>(probes); ++f) {
+    const Structure query = build_fold_structure(
+        "q", w.universe.fold(f), w.universe.canonical_sequence(f), /*noise_A=*/0.4, 99 + f);
+    const auto hits = w.library.search(query, 10);
+    ASSERT_FALSE(hits.empty());
+    if (hits.front().fold_index == f) ++correct;
+    EXPECT_GT(hits.front().tm_query, 0.6);
+  }
+  EXPECT_GE(correct, probes - 1);
+}
+
+TEST(FoldLibrary, HitsSortedByTm) {
+  LibraryWorld w;
+  const Structure query = build_fold_structure("q", w.universe.fold(3),
+                                               w.universe.canonical_sequence(3));
+  const auto hits = w.library.search(query, 12);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].tm_query, hits[i].tm_query);
+  }
+}
+
+TEST(FoldLibrary, ShortlistBoundsWork) {
+  LibraryWorld w;
+  const Structure query = build_fold_structure("q", w.universe.fold(0),
+                                               w.universe.canonical_sequence(0));
+  EXPECT_EQ(w.library.search(query, 5).size(), 5u);
+  EXPECT_EQ(w.library.search(query, 500).size(), 25u);  // capped at size
+}
+
+TEST(FoldLibrary, ContactDensityFeature) {
+  LibraryWorld w;
+  // Compact library entries have nonzero contact density.
+  const double cd = structure_contact_density(w.library.entry(0).structure);
+  EXPECT_GT(cd, 0.0);
+  // Tiny structure is safe.
+  EXPECT_EQ(structure_contact_density(Structure{}), 0.0);
+}
+
+TEST(FoldLibrary, ExcludedFoldIsNotFound) {
+  // Build a library missing fold 0; querying fold 0 gives no confident
+  // match (the novel-fold scenario of §4.6).
+  FoldUniverse universe(25, 51);
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 1; i < 25; ++i) indices.push_back(i);
+  FoldLibrary library(universe, indices);
+  const Structure query = build_fold_structure("q", universe.fold(0),
+                                               universe.canonical_sequence(0));
+  const auto hits = library.search(query, 12);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_LT(hits.front().tm_query, 0.6);
+}
+
+}  // namespace
+}  // namespace sf

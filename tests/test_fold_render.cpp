@@ -1,0 +1,109 @@
+// Properties of the length-stable fold renderer: the geometry layer that
+// makes remote homology (§4.6) and the relaxation inputs meaningful.
+#include <gtest/gtest.h>
+
+#include "analysis/struct_align.hpp"
+#include "bio/fold_grammar.hpp"
+#include "geom/violations.hpp"
+#include "score/tm_score.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+struct RenderWorld {
+  Rng rng{91};
+  FoldSpec fold = sample_fold(rng, 150);
+  std::string seq = sample_sequence_for_ss(render_ss(fold, 150), rng);
+};
+
+TEST(FoldRender, SsElementsKeepBaseLengthUnderGrowth) {
+  RenderWorld w;
+  // Indels land in loops: the H/E residue counts must be identical for
+  // moderate growth, with only C counts changing.
+  const std::string base_ss = render_ss(w.fold, 150);
+  const std::string grown_ss = render_ss(w.fold, 180);
+  auto count = [](const std::string& ss, char c) {
+    return std::count(ss.begin(), ss.end(), c);
+  };
+  EXPECT_EQ(count(base_ss, 'H'), count(grown_ss, 'H'));
+  EXPECT_EQ(count(base_ss, 'E'), count(grown_ss, 'E'));
+  EXPECT_EQ(count(grown_ss, 'C') - count(base_ss, 'C'), 30);
+}
+
+TEST(FoldRender, ShrinkBelowCoreFallsBackProportionally) {
+  RenderWorld w;
+  // At 40% of base length the rigid core cannot fit; everything scales.
+  const std::string tiny_ss = render_ss(w.fold, 60);
+  EXPECT_EQ(tiny_ss.size(), 60u);
+  // Still has some secondary structure.
+  EXPECT_GT(std::count(tiny_ss.begin(), tiny_ss.end(), 'H') +
+                std::count(tiny_ss.begin(), tiny_ss.end(), 'E'),
+            10);
+}
+
+TEST(FoldRender, NativesAreCleanChains) {
+  Rng rng(5);
+  for (int k = 0; k < 6; ++k) {
+    const FoldSpec fold = sample_fold(rng, 80 + 40 * k);
+    const std::string seq = sample_sequence_for_ss(render_ss(fold, 80 + 40 * k), rng);
+    const Structure s = build_fold_structure("n", fold, seq);
+    // No clashes; bumps rare (see §4.4 -- even natives/predictions carry
+    // a small bump load).
+    const ViolationReport v = count_violations(s);
+    EXPECT_EQ(v.clashes, 0u) << "fold " << k;
+    EXPECT_LE(v.bumps, 25u) << "fold " << k;
+    // Chain continuity: adjacent CA distances near the virtual bond.
+    const auto ca = s.ca_coords();
+    for (std::size_t i = 1; i < ca.size(); ++i) {
+      const double d = distance(ca[i - 1], ca[i]);
+      EXPECT_GT(d, 2.4) << "fold " << k << " res " << i;
+      EXPECT_LT(d, 6.5) << "fold " << k << " res " << i;
+    }
+  }
+}
+
+// Property: same-fold renders at different lengths are structurally
+// alignable -- the invariant underpinning the annotation experiment.
+class CrossLengthStability : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossLengthStability, HomologsSuperpose) {
+  Rng rng(static_cast<unsigned>(GetParam()));
+  const FoldSpec fold = sample_fold(rng, 120);
+  const std::string seq = sample_sequence_for_ss(render_ss(fold, 120), rng);
+  const Structure base = build_fold_structure("b", fold, seq);
+  for (int len : {110, 132, 144}) {
+    Rng h(7);
+    const std::string seq2 = homolog_sequence(fold, seq, 120, len, 0.3, h);
+    const Structure render = build_fold_structure("r", fold, seq2);
+    const double tm = struct_align(base, render).tm_query;
+    EXPECT_GT(tm, 0.6) << "len " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossLengthStability, ::testing::Values(41, 42, 43, 44));
+
+TEST(FoldRender, UniverseLengthMatchedSampling) {
+  FoldUniverse universe(120, 9);
+  Rng rng(3);
+  for (int target : {60, 150, 400, 900}) {
+    for (int draw = 0; draw < 10; ++draw) {
+      const std::size_t f = universe.sample_fold_index_near(rng, target);
+      const double base = universe.fold(f).base_length();
+      // Within the widened tolerance window of the sampler.
+      EXPECT_LT(std::abs(base - target) / target, 1.0) << "target " << target;
+    }
+  }
+}
+
+TEST(FoldRender, NoiseSeedDifferentiatesFamilyMembers) {
+  RenderWorld w;
+  const Structure a = build_fold_structure("a", w.fold, w.seq, 0.25, 1);
+  const Structure b = build_fold_structure("b", w.fold, w.seq, 0.25, 2);
+  // Same fold, different member: nearly identical but not bitwise equal.
+  EXPECT_GT(tm_score(a, b).tm_score, 0.9);
+  EXPECT_GT(distance(a.residue(0).ca, b.residue(0).ca), 1e-6);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,121 @@
+#include "geom/kabsch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, Rng& rng) {
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)});
+  }
+  return pts;
+}
+
+TEST(Kabsch, IdentityForIdenticalClouds) {
+  Rng rng(1);
+  const auto pts = random_cloud(20, rng);
+  const Superposition sp = kabsch(pts, pts);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-9);
+  for (const auto& p : pts) {
+    const Vec3 q = sp.apply(p);
+    EXPECT_NEAR(distance(p, q), 0.0, 1e-9);
+  }
+}
+
+// Property: kabsch exactly recovers any rigid transform, across sizes.
+class KabschRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(KabschRecovery, RecoversRigidTransform) {
+  Rng rng(GetParam());
+  const auto mobile = random_cloud(static_cast<std::size_t>(GetParam()) + 4, rng);
+  const Mat3 rot = rotation_about_axis(Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized(),
+                                       rng.uniform(-3.0, 3.0));
+  const Vec3 shift{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+  std::vector<Vec3> target;
+  for (const auto& p : mobile) target.push_back(rot * p + shift);
+
+  const Superposition sp = kabsch(mobile, target);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-6);
+  for (std::size_t i = 0; i < mobile.size(); ++i) {
+    EXPECT_NEAR(distance(sp.apply(mobile[i]), target[i]), 0.0, 1e-6);
+  }
+  EXPECT_NEAR(sp.rotation.det(), 1.0, 1e-9);  // proper rotation, no reflection
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KabschRecovery, ::testing::Values(1, 3, 5, 17, 64, 200));
+
+TEST(Kabsch, RmsdMatchesDirectForNoisyClouds) {
+  Rng rng(7);
+  const auto a = random_cloud(50, rng);
+  std::vector<Vec3> b = a;
+  for (auto& p : b) p += Vec3{rng.normal(0, 0.5), rng.normal(0, 0.5), rng.normal(0, 0.5)};
+  const Superposition sp = kabsch(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += distance2(sp.apply(a[i]), b[i]);
+  EXPECT_NEAR(sp.rmsd, std::sqrt(s / a.size()), 1e-9);
+  // Optimal superposition can only improve on raw RMSD.
+  EXPECT_LE(sp.rmsd, raw_rmsd(a, b) + 1e-12);
+}
+
+TEST(Kabsch, WeightedIgnoresZeroWeightOutliers) {
+  Rng rng(13);
+  auto mobile = random_cloud(20, rng);
+  auto target = mobile;
+  std::vector<double> w(20, 1.0);
+  // Outlier pair with zero weight must not affect the fit.
+  mobile.push_back({100, 100, 100});
+  target.push_back({-100, -100, -100});
+  w.push_back(0.0);
+  const Superposition sp = kabsch_weighted(mobile, target, w);
+  EXPECT_NEAR(sp.rmsd, 0.0, 1e-9);
+}
+
+TEST(Kabsch, ThrowsOnBadInput) {
+  std::vector<Vec3> a{{0, 0, 0}}, b;
+  EXPECT_THROW(kabsch(a, b), std::invalid_argument);
+  EXPECT_THROW(kabsch(b, b), std::invalid_argument);
+  EXPECT_THROW(raw_rmsd(a, b), std::invalid_argument);
+  EXPECT_THROW(kabsch_weighted(a, a, {0.0}), std::invalid_argument);
+}
+
+TEST(SymmetricEigen3, DiagonalizesKnownMatrix) {
+  Mat3 m;
+  m.m[0][0] = 2.0;
+  m.m[1][1] = 5.0;
+  m.m[2][2] = 3.0;
+  double vals[3];
+  Mat3 vecs;
+  symmetric_eigen3(m, vals, vecs);
+  EXPECT_NEAR(vals[0], 5.0, 1e-10);
+  EXPECT_NEAR(vals[1], 3.0, 1e-10);
+  EXPECT_NEAR(vals[2], 2.0, 1e-10);
+}
+
+TEST(SymmetricEigen3, ReconstructsMatrix) {
+  Mat3 m;
+  m.m[0][0] = 4.0; m.m[0][1] = 1.0; m.m[0][2] = 0.5;
+  m.m[1][0] = 1.0; m.m[1][1] = 3.0; m.m[1][2] = -0.7;
+  m.m[2][0] = 0.5; m.m[2][1] = -0.7; m.m[2][2] = 2.0;
+  double vals[3];
+  Mat3 v;
+  symmetric_eigen3(m, vals, v);
+  // M == V diag(vals) V^T
+  Mat3 d;
+  d.m[0][0] = vals[0];
+  d.m[1][1] = vals[1];
+  d.m[2][2] = vals[2];
+  const Mat3 rec = v * d * v.transpose();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(rec.m[i][j], m.m[i][j], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,78 @@
+#include "score/lddt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/backbone.hpp"
+#include "geom/kabsch.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+std::vector<Vec3> trace(int n, unsigned seed = 5) {
+  Rng rng(seed);
+  std::string ss;
+  for (int k = 0; k < n; ++k) ss += (k / 12) % 2 ? 'H' : 'C';
+  return build_ca_trace(ss, rng);
+}
+
+TEST(Lddt, SelfIsHundred) {
+  const auto ca = trace(60);
+  const LddtResult r = lddt(ca, ca);
+  EXPECT_NEAR(r.global, 100.0, 1e-9);
+  for (double v : r.per_residue) EXPECT_NEAR(v, 100.0, 1e-9);
+}
+
+TEST(Lddt, SuperpositionFree) {
+  const auto ca = trace(60);
+  const Mat3 rot = rotation_about_axis(Vec3{0, 1, 1}.normalized(), 2.0);
+  std::vector<Vec3> moved;
+  for (const auto& p : ca) moved.push_back(rot * p + Vec3{100, 0, 0});
+  EXPECT_NEAR(lddt(moved, ca).global, 100.0, 1e-9);
+}
+
+TEST(Lddt, MonotoneUnderLocalNoise) {
+  const auto ca = trace(100);
+  double prev = 101.0;
+  for (double sigma : {0.2, 0.8, 2.0, 5.0}) {
+    Rng noise(7);
+    auto noisy = ca;
+    for (auto& p : noisy) {
+      p += Vec3{noise.normal(0, sigma), noise.normal(0, sigma), noise.normal(0, sigma)};
+    }
+    const double v = lddt(noisy, ca).global;
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Lddt, RigidDomainMotionPreservesLocalScore) {
+  // Displace the second half rigidly: intra-half distances intact, only
+  // cross-half pairs within the inclusion radius suffer.
+  const auto ca = trace(80);
+  auto model = ca;
+  for (std::size_t i = 40; i < model.size(); ++i) model[i] += Vec3{30, 0, 0};
+  const double v = lddt(model, ca).global;
+  EXPECT_GT(v, 60.0);  // far higher than uncorrelated noise of that scale
+}
+
+TEST(Lddt, PerResidueLocalization) {
+  const auto ca = trace(60);
+  auto model = ca;
+  model[30] += Vec3{6, 6, 6};  // wreck one residue
+  const LddtResult r = lddt(model, ca);
+  // The wrecked residue scores much worse than a distant one.
+  EXPECT_LT(r.per_residue[30], r.per_residue[5] - 20.0);
+}
+
+TEST(Lddt, MismatchThrows) {
+  EXPECT_THROW(lddt(trace(10), trace(12)), std::invalid_argument);
+}
+
+TEST(Lddt, EmptyIsSafe) {
+  const LddtResult r = lddt(std::vector<Vec3>{}, std::vector<Vec3>{});
+  EXPECT_EQ(r.global, 0.0);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,47 @@
+#include "fold/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+TEST(MemoryModel, MonotoneInLengthAndEnsembles) {
+  EXPECT_LT(inference_memory_gb(100, 1), inference_memory_gb(500, 1));
+  EXPECT_LT(inference_memory_gb(500, 1), inference_memory_gb(500, 8));
+}
+
+TEST(MemoryModel, BenchmarkSequencesFitSingleEnsemble) {
+  // The 559-sequence benchmark (max 1266 AA) ran fully under reduced_db/
+  // genome/super: all lengths must fit a standard node at 1 ensemble.
+  for (int len : {29, 202, 559, 1000, 1266}) {
+    EXPECT_TRUE(fits_standard_node(len, 1)) << len;
+  }
+}
+
+TEST(MemoryModel, Casp14OomsOnLongSequences) {
+  // §4.2: the 8 longest sequences of the 559 set failed with casp14's 8
+  // ensembles. The longest must OOM; short ones must not.
+  EXPECT_FALSE(fits_standard_node(1266, 8));
+  EXPECT_FALSE(fits_standard_node(1000, 8));
+  EXPECT_TRUE(fits_standard_node(300, 8));
+}
+
+TEST(MemoryModel, VeryLongSequencesNeedHighMemoryNodes) {
+  // §3.3: "Some of the proteins are too large to fit onto the memory of a
+  // standard Summit node" -- at 1 ensemble there is a length beyond which
+  // only high-memory nodes work, but the 2500 AA study cutoff still fits
+  // the high-memory class.
+  bool found_highmem_only = false;
+  for (int len = 1000; len <= 2500; len += 100) {
+    if (!fits_standard_node(len, 1) && fits_highmem_node(len, 1)) found_highmem_only = true;
+  }
+  EXPECT_TRUE(found_highmem_only);
+  EXPECT_TRUE(fits_highmem_node(2500, 1));
+}
+
+TEST(MemoryModel, BaseCostPositive) {
+  EXPECT_GT(inference_memory_gb(1, 1), 0.5);
+}
+
+}  // namespace
+}  // namespace sf

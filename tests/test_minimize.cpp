@@ -1,0 +1,136 @@
+#include "relax/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/amino_acid.hpp"
+#include "geom/backbone.hpp"
+#include "geom/violations.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+Structure noisy_structure(int n, double noise, unsigned seed) {
+  Rng rng(seed);
+  std::vector<ResidueSpec> spec;
+  const char* aas = "MKWLVEDRTY";
+  for (int i = 0; i < n; ++i) {
+    ResidueSpec rs;
+    rs.aa = aas[i % 10];
+    rs.heavy_atoms = aa_heavy_atoms(rs.aa);
+    rs.has_cb = aa_has_cb(rs.aa);
+    rs.has_sc = aa_has_sc(rs.aa);
+    spec.push_back(rs);
+  }
+  std::string ss;
+  for (int i = 0; i < n; ++i) ss += (i / 11) % 2 ? 'H' : 'E';
+  Structure s = build_structure("m", spec, ss, rng);
+  if (noise > 0) {
+    auto coords = s.all_atom_coords();
+    for (auto& p : coords) {
+      p += Vec3{rng.normal(0, noise), rng.normal(0, noise), rng.normal(0, noise)};
+    }
+    s.set_all_atom_coords(coords);
+  }
+  return s;
+}
+
+TEST(Minimize, LbfgsReducesEnergyAndConverges) {
+  const Structure s = noisy_structure(40, 0.5, 3);
+  const ForceField ff(s);
+  auto coords = s.all_atom_coords();
+  const MinimizeResult r = minimize_lbfgs(ff, coords);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_energy, r.initial_energy);
+  EXPECT_GT(r.steps, 0);
+  EXPECT_GE(r.energy_evaluations, r.steps);
+}
+
+TEST(Minimize, FireReducesEnergy) {
+  const Structure s = noisy_structure(40, 0.5, 3);
+  const ForceField ff(s);
+  auto coords = s.all_atom_coords();
+  const MinimizeResult r = minimize_fire(ff, coords);
+  EXPECT_LT(r.final_energy, r.initial_energy);
+}
+
+TEST(Minimize, BackendsFindComparableMinima) {
+  const Structure s = noisy_structure(35, 0.6, 5);
+  const ForceField ff(s);
+  auto c1 = s.all_atom_coords();
+  auto c2 = s.all_atom_coords();
+  MinimizeOptions opts;
+  opts.energy_tolerance = 0.1;  // tight, to compare minima rather than stops
+  const MinimizeResult lbfgs = minimize_lbfgs(ff, c1, opts);
+  const MinimizeResult fire = minimize_fire(ff, c2, opts);
+  // Independent optimizers agree on the reachable basin energy within a
+  // few percent.
+  const double scale = std::max(1.0, std::abs(lbfgs.final_energy));
+  EXPECT_NEAR(lbfgs.final_energy, fire.final_energy, 0.1 * scale);
+}
+
+TEST(Minimize, EnergyToleranceStopsEarly) {
+  const Structure s = noisy_structure(40, 0.5, 7);
+  const ForceField ff(s);
+  auto loose_coords = s.all_atom_coords();
+  auto tight_coords = s.all_atom_coords();
+  MinimizeOptions loose;
+  loose.energy_tolerance = 50.0;
+  MinimizeOptions tight;
+  tight.energy_tolerance = 0.01;
+  const MinimizeResult r_loose = minimize_lbfgs(ff, loose_coords, loose);
+  const MinimizeResult r_tight = minimize_lbfgs(ff, tight_coords, tight);
+  EXPECT_LE(r_loose.steps, r_tight.steps);
+  EXPECT_GE(r_tight.initial_energy - r_tight.final_energy,
+            r_loose.initial_energy - r_loose.final_energy - 1e-9);
+}
+
+TEST(Minimize, StepCapRespected) {
+  const Structure s = noisy_structure(40, 1.0, 9);
+  const ForceField ff(s);
+  auto coords = s.all_atom_coords();
+  MinimizeOptions opts;
+  opts.max_steps = 5;
+  opts.energy_tolerance = 1e-12;  // effectively never converge
+  opts.grad_tolerance = 0.0;
+  const MinimizeResult r = minimize_lbfgs(ff, coords, opts);
+  EXPECT_LE(r.steps, 5);
+}
+
+TEST(Minimize, EmptyCoordsSafe) {
+  const Structure s;  // empty
+  const ForceField ff(s);
+  std::vector<Vec3> coords;
+  const MinimizeResult r = minimize_lbfgs(ff, coords);
+  EXPECT_EQ(r.steps, 0);
+}
+
+TEST(Minimize, RestraintsKeepStructureNearInput) {
+  const Structure s = noisy_structure(50, 0.4, 11);
+  const ForceField ff(s);
+  auto coords = s.all_atom_coords();
+  minimize_lbfgs(ff, coords);
+  // With k=10 restraints, minimized atoms stay within ~1 A of input.
+  const auto input = s.all_atom_coords();
+  double max_move = 0.0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    max_move = std::max(max_move, distance(coords[i], input[i]));
+  }
+  EXPECT_LT(max_move, 1.5);
+}
+
+// Property: minimization monotonically improves across noise levels.
+class MinimizeNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinimizeNoise, AlwaysImproves) {
+  const Structure s = noisy_structure(30, GetParam(), 13);
+  const ForceField ff(s);
+  auto coords = s.all_atom_coords();
+  const MinimizeResult r = minimize_lbfgs(ff, coords);
+  EXPECT_LE(r.final_energy, r.initial_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, MinimizeNoise, ::testing::Values(0.0, 0.2, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,146 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace sf {
+namespace {
+
+struct PipelineWorld {
+  FoldUniverse universe{40, 31};
+  SpeciesProfile profile = species_d_vulgaris();
+  std::vector<ProteinRecord> records;
+
+  PipelineWorld() {
+    records = ProteomeGenerator(universe, profile, 12).generate(80);
+  }
+
+  PipelineConfig small_config() const {
+    PipelineConfig cfg;
+    cfg.summit_nodes = 4;
+    cfg.andes_nodes = 8;
+    cfg.relax_nodes = 1;
+    cfg.db_replicas = 4;
+    cfg.jobs_per_replica = 2;
+    cfg.quality_sample = 30;
+    cfg.relax_sample = 10;
+    return cfg;
+  }
+};
+
+TEST(Pipeline, ProducesAllStageReports) {
+  PipelineWorld w;
+  Pipeline pipeline(w.universe, w.small_config());
+  const CampaignReport rep = pipeline.run(w.records);
+
+  EXPECT_EQ(rep.features.tasks, 80);
+  EXPECT_EQ(rep.inference.tasks, 80 * 5);
+  EXPECT_GT(rep.relaxation.tasks, 0);
+
+  EXPECT_GT(rep.features.wall_s, 0.0);
+  EXPECT_GT(rep.inference.wall_s, 0.0);
+  EXPECT_GT(rep.relaxation.wall_s, 0.0);
+  EXPECT_GT(rep.features.node_hours, 0.0);
+  EXPECT_GT(rep.total_summit_node_hours(), 0.0);
+  EXPECT_GT(rep.total_andes_node_hours(), 0.0);
+
+  EXPECT_EQ(rep.targets.size(), 80u);
+  EXPECT_EQ(rep.plddt.count(), 30u);  // quality sample size
+  EXPECT_EQ(rep.inference_records.size(), 400u);
+}
+
+TEST(Pipeline, QualityValuesAreInRange) {
+  PipelineWorld w;
+  Pipeline pipeline(w.universe, w.small_config());
+  const CampaignReport rep = pipeline.run(w.records);
+  for (const auto& t : rep.targets) {
+    EXPECT_FALSE(t.id.empty());
+    if (!t.measured) continue;
+    EXPECT_GE(t.plddt, 0.0);
+    EXPECT_LE(t.plddt, 100.0);
+    EXPECT_GE(t.ptms, 0.0);
+    EXPECT_LE(t.ptms, 1.0);
+    EXPECT_GE(t.top_model, 1);
+    EXPECT_LE(t.top_model, 5);
+  }
+}
+
+TEST(Pipeline, RelaxationRemovesClashesOnMeasuredSubset) {
+  PipelineWorld w;
+  Pipeline pipeline(w.universe, w.small_config());
+  const CampaignReport rep = pipeline.run(w.records);
+  int relaxed = 0;
+  for (const auto& t : rep.targets) {
+    if (!t.relaxed) continue;
+    ++relaxed;
+    EXPECT_EQ(t.clashes_after, 0u);
+    EXPECT_LE(t.bumps_after, t.bumps_before);
+  }
+  EXPECT_EQ(relaxed, 10);  // relax_sample
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  PipelineWorld w;
+  Pipeline p1(w.universe, w.small_config());
+  Pipeline p2(w.universe, w.small_config());
+  const CampaignReport a = p1.run(w.records);
+  const CampaignReport b = p2.run(w.records);
+  EXPECT_DOUBLE_EQ(a.inference.wall_s, b.inference.wall_s);
+  EXPECT_DOUBLE_EQ(a.plddt.mean(), b.plddt.mean());
+  EXPECT_DOUBLE_EQ(a.features.node_hours, b.features.node_hours);
+}
+
+TEST(Pipeline, MoreNodesShortenInferenceWall) {
+  PipelineWorld w;
+  PipelineConfig small = w.small_config();
+  PipelineConfig big = small;
+  big.summit_nodes = 16;
+  const CampaignReport rep_small = Pipeline(w.universe, small).run(w.records);
+  const CampaignReport rep_big = Pipeline(w.universe, big).run(w.records);
+  EXPECT_LT(rep_big.inference.wall_s, rep_small.inference.wall_s);
+  // Same work, so node-hours are similar (within startup overheads).
+  EXPECT_NEAR(rep_big.inference.node_hours, rep_small.inference.node_hours,
+              0.6 * rep_small.inference.node_hours);
+}
+
+TEST(Pipeline, FullLibraryCostsMoreFeatureTime) {
+  PipelineWorld w;
+  PipelineConfig reduced = w.small_config();
+  PipelineConfig full = reduced;
+  full.library = LibraryKind::kFull;
+  const CampaignReport rep_red = Pipeline(w.universe, reduced).run(w.records);
+  const CampaignReport rep_full = Pipeline(w.universe, full).run(w.records);
+  EXPECT_GT(rep_full.features.node_hours, 2.0 * rep_red.features.node_hours);
+}
+
+TEST(Pipeline, ReportPrinterProducesOutput) {
+  PipelineWorld w;
+  const CampaignReport rep = Pipeline(w.universe, w.small_config()).run(w.records);
+  std::ostringstream out;
+  print_campaign(out, rep, w.profile);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("campaign"), std::string::npos);
+  EXPECT_NE(text.find("pLDDT"), std::string::npos);
+  EXPECT_NE(text.find("node-hours"), std::string::npos);
+}
+
+TEST(Pipeline, MeasuredSubsetFeedsUnmeasuredDurations) {
+  // With quality_sample < n, unmeasured targets still get recycle counts.
+  PipelineWorld w;
+  PipelineConfig cfg = w.small_config();
+  cfg.quality_sample = 10;
+  const CampaignReport rep = Pipeline(w.universe, cfg).run(w.records);
+  int measured = 0, unmeasured_with_recycles = 0;
+  for (const auto& t : rep.targets) {
+    if (t.measured) ++measured;
+    else if (t.recycles > 0) ++unmeasured_with_recycles;
+  }
+  EXPECT_EQ(measured, 10);
+  EXPECT_GT(unmeasured_with_recycles, 0);
+}
+
+}  // namespace
+}  // namespace sf

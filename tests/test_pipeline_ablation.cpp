@@ -1,0 +1,125 @@
+// Integration tests of the pipeline's design choices (the ablations
+// DESIGN.md calls out): ordering policy, preset, OOM routing, replica
+// layout.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fold/memory_model.hpp"
+
+namespace sf {
+namespace {
+
+struct AblationWorld {
+  FoldUniverse universe{40, 83};
+  std::vector<ProteinRecord> records;
+
+  AblationWorld() {
+    SpeciesProfile profile = species_d_vulgaris();
+    records = ProteomeGenerator(universe, profile, 21).generate(60);
+  }
+
+  PipelineConfig base_config() const {
+    PipelineConfig cfg;
+    cfg.summit_nodes = 2;
+    cfg.andes_nodes = 8;
+    cfg.relax_nodes = 1;
+    cfg.db_replicas = 4;
+    cfg.jobs_per_replica = 2;
+    cfg.quality_sample = 20;
+    cfg.relax_sample = 5;
+    return cfg;
+  }
+};
+
+TEST(PipelineAblation, SortingBeatsRandomOrder) {
+  AblationWorld w;
+  PipelineConfig sorted = w.base_config();
+  sorted.order = TaskOrder::kDescendingCost;
+  PipelineConfig random = w.base_config();
+  random.order = TaskOrder::kRandom;
+  const CampaignReport rs = Pipeline(w.universe, sorted).run(w.records);
+  const CampaignReport rr = Pipeline(w.universe, random).run(w.records);
+  EXPECT_LE(rs.inference.wall_s, rr.inference.wall_s * 1.02);
+  EXPECT_LE(rs.inference.finish_spread_s, rr.inference.finish_spread_s + 1.0);
+}
+
+TEST(PipelineAblation, SuperPresetCostsMoreThanReducedDb) {
+  AblationWorld w;
+  PipelineConfig reduced = w.base_config();
+  reduced.preset = preset_reduced_db();
+  PipelineConfig super = w.base_config();
+  super.preset = preset_super();
+  const CampaignReport r_red = Pipeline(w.universe, reduced).run(w.records);
+  const CampaignReport r_sup = Pipeline(w.universe, super).run(w.records);
+  EXPECT_GT(r_sup.inference.node_hours, r_red.inference.node_hours);
+  // Quality does not get worse for the extra recycles.
+  EXPECT_GE(r_sup.ptms.mean(), r_red.ptms.mean() - 0.01);
+}
+
+TEST(PipelineAblation, Casp14OomTargetsDroppedWithoutHighmem) {
+  // Long proteins + 8 ensembles: all five models OOM; without high-memory
+  // rerouting the targets are dropped, as the paper's Table 1 footnote
+  // describes.
+  FoldUniverse universe(10, 5);
+  SpeciesProfile profile = benchmark_559_profile();
+  profile.length_min = 1100;
+  profile.length_log_mu = 7.1;
+  const auto records = ProteomeGenerator(universe, profile, 3).generate(6);
+  for (const auto& r : records) ASSERT_FALSE(fits_standard_node(r.length(), 8));
+
+  PipelineConfig cfg;
+  cfg.preset = preset_casp14();
+  cfg.summit_nodes = 2;
+  cfg.andes_nodes = 4;
+  cfg.relax_nodes = 1;
+  cfg.quality_sample = 6;
+  cfg.relax_sample = 0;
+  cfg.use_highmem_for_oom = false;
+  const CampaignReport rep = Pipeline(universe, cfg).run(records);
+  int dropped = 0;
+  for (const auto& t : rep.targets) {
+    if (t.oom) ++dropped;
+  }
+  EXPECT_EQ(dropped, 6);
+  EXPECT_EQ(rep.inference.failed_tasks, 30);  // 6 targets x 5 models
+
+  // With high-memory rerouting the tasks bill extra node-hours instead.
+  PipelineConfig highmem = cfg;
+  highmem.use_highmem_for_oom = true;
+  highmem.highmem_nodes = 1;
+  const CampaignReport rep_hm = Pipeline(universe, highmem).run(records);
+  EXPECT_EQ(rep_hm.inference.failed_tasks, 0);
+  EXPECT_GT(rep_hm.inference.node_hours, rep.inference.node_hours);
+}
+
+TEST(PipelineAblation, ReplicaLayoutChangesFeatureWall) {
+  AblationWorld w;
+  PipelineConfig spread = w.base_config();   // 4 replicas x 2 jobs
+  PipelineConfig crowded = w.base_config();
+  crowded.db_replicas = 1;
+  crowded.jobs_per_replica = 8;  // same 8 jobs, one contended copy
+  const CampaignReport r_spread = Pipeline(w.universe, spread).run(w.records);
+  const CampaignReport r_crowded = Pipeline(w.universe, crowded).run(w.records);
+  EXPECT_LT(r_spread.features.wall_s, r_crowded.features.wall_s);
+}
+
+TEST(PipelineAblation, RelaxStageSkipsDroppedTargets) {
+  FoldUniverse universe(10, 5);
+  SpeciesProfile profile = benchmark_559_profile();
+  profile.length_min = 1100;
+  profile.length_log_mu = 7.1;
+  const auto records = ProteomeGenerator(universe, profile, 3).generate(4);
+  PipelineConfig cfg;
+  cfg.preset = preset_casp14();
+  cfg.summit_nodes = 1;
+  cfg.andes_nodes = 2;
+  cfg.relax_nodes = 1;
+  cfg.quality_sample = 4;
+  cfg.relax_sample = 0;
+  cfg.use_highmem_for_oom = false;
+  const CampaignReport rep = Pipeline(universe, cfg).run(records);
+  EXPECT_EQ(rep.relaxation.tasks, 0);  // nothing survived to relax
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,76 @@
+// Report rendering and dataflow-CSV file round trips (the artifacts the
+// paper's client leaves behind).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "dataflow/stats.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Report, StageLineContainsEveryField) {
+  StageReport st;
+  st.name = "inference";
+  st.wall_s = 3725.0;
+  st.node_hours = 123.4;
+  st.nodes = 32;
+  st.tasks = 2795;
+  st.mean_utilization = 0.876;
+  st.finish_spread_s = 95.0;
+  std::ostringstream out;
+  print_stage(out, st);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("inference"), std::string::npos);
+  EXPECT_NE(line.find("1h 02m 05s"), std::string::npos);
+  EXPECT_NE(line.find("123.4"), std::string::npos);
+  EXPECT_NE(line.find("2795"), std::string::npos);
+  EXPECT_NE(line.find("87.6%"), std::string::npos);
+}
+
+TEST(Report, FailedTasksOnlyWhenPresent) {
+  StageReport st;
+  st.name = "x";
+  std::ostringstream clean;
+  print_stage(clean, st);
+  EXPECT_EQ(clean.str().find("failed"), std::string::npos);
+  st.failed_tasks = 8;
+  std::ostringstream failed;
+  print_stage(failed, st);
+  EXPECT_NE(failed.str().find("failed 8"), std::string::npos);
+}
+
+TEST(TaskStatsFile, WriteReadRoundTripOnDisk) {
+  const std::string path = ::testing::TempDir() + "/sf_task_stats.csv";
+  std::vector<TaskRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back({static_cast<std::uint64_t>(i), "target" + std::to_string(i) + "/m1",
+                       i % 6, i * 1.5, i * 1.5 + 42.0});
+  }
+  write_task_stats_csv_file(path, records);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const auto parsed = read_task_stats_csv(in);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].task_id, records[i].task_id);
+    EXPECT_EQ(parsed[i].name, records[i].name);
+    EXPECT_EQ(parsed[i].worker, records[i].worker);
+    EXPECT_DOUBLE_EQ(parsed[i].start_s, records[i].start_s);
+    EXPECT_DOUBLE_EQ(parsed[i].duration_s(), 42.0);
+  }
+}
+
+TEST(TaskStatsFile, BadRowThrows) {
+  std::istringstream in("task_id,name,worker,start_s,end_s\n1,only,three\n");
+  EXPECT_THROW(read_task_stats_csv(in), std::runtime_error);
+}
+
+TEST(TaskStatsFile, UnwritablePathThrows) {
+  EXPECT_THROW(write_task_stats_csv_file("/nonexistent/dir/x.csv", {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "bio/proteome.hpp"
+#include "bio/species.hpp"
+#include "score/tm_score.hpp"
+
+namespace sf {
+namespace {
+
+TEST(Species, PaperCounts) {
+  EXPECT_EQ(species_p_mercurii().proteome_size, 3446);
+  EXPECT_EQ(species_r_rubrum().proteome_size, 3849);
+  EXPECT_EQ(species_d_vulgaris().proteome_size, 3205);
+  EXPECT_EQ(species_s_divinum().proteome_size, 25134);
+  EXPECT_EQ(benchmark_559_profile().proteome_size, 559);
+  EXPECT_EQ(paper_species().size(), 4u);
+  // Abstract: 35,634 sequences total across the four species.
+  int total = 0;
+  for (const auto& sp : paper_species()) total += sp.proteome_size;
+  EXPECT_EQ(total, 35634);
+}
+
+TEST(Proteome, GeneratesRequestedCount) {
+  FoldUniverse universe(60, 1);
+  ProteomeGenerator gen(universe, benchmark_559_profile(), 7);
+  EXPECT_EQ(gen.generate(25).size(), 25u);
+  EXPECT_EQ(gen.generate().size(), 559u);
+}
+
+TEST(Proteome, DeterministicForSameSeed) {
+  FoldUniverse universe(60, 1);
+  ProteomeGenerator g1(universe, species_d_vulgaris(), 7);
+  ProteomeGenerator g2(universe, species_d_vulgaris(), 7);
+  const auto a = g1.generate(40);
+  const auto b = g2.generate(40);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence.residues(), b[i].sequence.residues());
+    EXPECT_EQ(a[i].fold_index, b[i].fold_index);
+    EXPECT_DOUBLE_EQ(a[i].hardness, b[i].hardness);
+  }
+}
+
+TEST(Proteome, DifferentSeedsDiffer) {
+  FoldUniverse universe(60, 1);
+  const auto a = ProteomeGenerator(universe, species_d_vulgaris(), 7).generate(10);
+  const auto b = ProteomeGenerator(universe, species_d_vulgaris(), 8).generate(10);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sequence.residues() == b[i].sequence.residues()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Proteome, LengthDistributionMatchesProfile) {
+  FoldUniverse universe(80, 2);
+  const auto profile = benchmark_559_profile();
+  const auto records = ProteomeGenerator(universe, profile, 2022).generate();
+  const auto stats = summarize_proteome(records);
+  // §4.2: lengths 29-1266, mean 202.
+  EXPECT_GE(stats.min_length, profile.length_min);
+  EXPECT_LE(stats.max_length, profile.length_max);
+  EXPECT_NEAR(stats.mean_length, 202.0, 30.0);
+}
+
+TEST(Proteome, HypotheticalFractionRoughlyMatches) {
+  FoldUniverse universe(60, 3);
+  auto profile = species_d_vulgaris();
+  const auto records = ProteomeGenerator(universe, profile, 5).generate(1500);
+  const auto stats = summarize_proteome(records);
+  EXPECT_NEAR(static_cast<double>(stats.hypothetical) / stats.count,
+              profile.hypothetical_fraction, 0.05);
+  // Annotations present iff not hypothetical.
+  for (const auto& r : records) {
+    EXPECT_EQ(r.annotation.empty(), r.hypothetical);
+  }
+}
+
+TEST(Proteome, HardnessAntiCorrelatesWithFamilySize) {
+  FoldUniverse universe(100, 4);
+  const auto records = ProteomeGenerator(universe, species_s_divinum(), 5).generate(800);
+  double hard_small = 0.0, hard_big = 0.0;
+  int n_small = 0, n_big = 0;
+  for (const auto& r : records) {
+    if (r.family_size < 100) {
+      hard_small += r.hardness;
+      ++n_small;
+    } else if (r.family_size > 1000) {
+      hard_big += r.hardness;
+      ++n_big;
+    }
+  }
+  ASSERT_GT(n_small, 5);
+  ASSERT_GT(n_big, 5);
+  EXPECT_GT(hard_small / n_small, hard_big / n_big);
+}
+
+TEST(Proteome, NativeBuildIsDeterministicAndSized) {
+  FoldUniverse universe(60, 1);
+  ProteomeGenerator gen(universe, species_d_vulgaris(), 7);
+  const auto records = gen.generate(3);
+  const Structure s1 = gen.build_native(records[1]);
+  const Structure s2 = build_native_structure(universe, records[1]);
+  ASSERT_EQ(s1.size(), records[1].sequence.length());
+  EXPECT_NEAR(tm_score(s1, s2).tm_score, 1.0, 1e-9);
+}
+
+TEST(Proteome, EukaryoteHarderThanProkaryote) {
+  FoldUniverse universe(100, 4);
+  const auto pro = ProteomeGenerator(universe, species_d_vulgaris(), 5).generate(600);
+  const auto euk = ProteomeGenerator(universe, species_s_divinum(), 5).generate(600);
+  double hp = 0.0, he = 0.0;
+  for (const auto& r : pro) hp += r.hardness;
+  for (const auto& r : euk) he += r.hardness;
+  EXPECT_GT(he / 600.0, hp / 600.0);
+}
+
+TEST(Proteome, SummaryOnEmpty) {
+  const ProteomeStats st = summarize_proteome({});
+  EXPECT_EQ(st.count, 0);
+  EXPECT_EQ(st.total_residues, 0);
+}
+
+}  // namespace
+}  // namespace sf

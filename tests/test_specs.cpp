@@ -1,0 +1,80 @@
+#include "score/specs_score.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/amino_acid.hpp"
+#include "geom/backbone.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+Structure build_test_structure(unsigned seed = 3, int n = 50) {
+  Rng rng(seed);
+  std::vector<ResidueSpec> spec;
+  const char* aas = "MKWLVEDRTY";
+  for (int i = 0; i < n; ++i) {
+    ResidueSpec rs;
+    rs.aa = aas[i % 10];
+    rs.heavy_atoms = aa_heavy_atoms(rs.aa);
+    rs.has_cb = aa_has_cb(rs.aa);
+    rs.has_sc = aa_has_sc(rs.aa);
+    spec.push_back(rs);
+  }
+  return build_structure("t", spec, std::string(static_cast<std::size_t>(n), 'H'), rng);
+}
+
+TEST(Specs, SelfIsPerfect) {
+  const Structure s = build_test_structure();
+  const SpecsResult r = specs_score(s, s);
+  EXPECT_NEAR(r.specs, 1.0, 1e-6);
+  EXPECT_NEAR(r.backbone, 1.0, 1e-6);
+  EXPECT_NEAR(r.sidechain, 1.0, 1e-6);
+}
+
+TEST(Specs, MonotoneUnderNoise) {
+  const Structure ref = build_test_structure();
+  double prev = 1.1;
+  for (double sigma : {0.3, 1.0, 3.0}) {
+    Rng noise(5);
+    Structure model = ref;
+    auto coords = model.all_atom_coords();
+    for (auto& p : coords) {
+      p += Vec3{noise.normal(0, sigma), noise.normal(0, sigma), noise.normal(0, sigma)};
+    }
+    model.set_all_atom_coords(coords);
+    const double v = specs_score(model, ref).specs;
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Specs, SensitiveToSidechainOnlyPerturbation) {
+  const Structure ref = build_test_structure();
+  Structure model = ref;
+  Rng noise(7);
+  // Perturb only SC atoms.
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (model.residue(i).has_sc) {
+      model.residue(i).sc += Vec3{noise.normal(0, 1.5), noise.normal(0, 1.5),
+                                  noise.normal(0, 1.5)};
+    }
+  }
+  const SpecsResult r = specs_score(model, ref);
+  EXPECT_NEAR(r.backbone, 1.0, 1e-6);     // backbone untouched
+  EXPECT_LT(r.sidechain, 0.95);           // sidechain term notices
+  EXPECT_LT(r.specs, 1.0);
+}
+
+TEST(Specs, MismatchThrows) {
+  EXPECT_THROW(specs_score(build_test_structure(1, 10), build_test_structure(1, 11)),
+               std::invalid_argument);
+}
+
+TEST(Specs, EmptyIsSafe) {
+  const SpecsResult r = specs_score(Structure{}, Structure{});
+  EXPECT_EQ(r.specs, 0.0);
+}
+
+}  // namespace
+}  // namespace sf

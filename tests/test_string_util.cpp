@@ -1,0 +1,65 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf {
+namespace {
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitEmpty) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  abc\t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("summit", "sum"));
+  EXPECT_FALSE(starts_with("sum", "summit"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, ToLower) { EXPECT_EQ(to_lower("AbC9"), "abc9"); }
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, Format) { EXPECT_EQ(format("%d-%s", 7, "x"), "7-x"); }
+
+TEST(StringUtil, HumanDuration) {
+  EXPECT_EQ(human_duration(5.2), "5.2s");
+  EXPECT_EQ(human_duration(65.0), "1m 05s");
+  EXPECT_EQ(human_duration(3725.0), "1h 02m 05s");
+  EXPECT_EQ(human_duration(-3.0), "0.0s");
+}
+
+TEST(StringUtil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(2.1 * 1024.0 * 1024.0 * 1024.0 * 1024.0), "2.10 TB");
+}
+
+}  // namespace
+}  // namespace sf

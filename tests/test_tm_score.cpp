@@ -1,0 +1,113 @@
+#include "score/tm_score.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/backbone.hpp"
+#include "geom/kabsch.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+std::vector<Vec3> helix_trace(int n, unsigned seed = 5) {
+  Rng rng(seed);
+  return build_ca_trace(std::string(static_cast<std::size_t>(n), 'H'), rng);
+}
+
+TEST(TmScore, D0Formula) {
+  EXPECT_DOUBLE_EQ(tm_d0(10), 0.5);  // floor for tiny proteins
+  EXPECT_NEAR(tm_d0(100), 1.24 * std::cbrt(85.0) - 1.8, 1e-12);
+  EXPECT_GT(tm_d0(500), tm_d0(100));
+}
+
+TEST(TmScore, SelfScoreIsOne) {
+  const auto ca = helix_trace(80);
+  const TmResult r = tm_score(ca, ca);
+  EXPECT_NEAR(r.tm_score, 1.0, 1e-9);
+  EXPECT_NEAR(r.rmsd_aligned, 0.0, 1e-9);
+  EXPECT_EQ(r.aligned, ca.size());
+}
+
+TEST(TmScore, RigidMotionInvariance) {
+  const auto ca = helix_trace(60);
+  const Mat3 rot = rotation_about_axis(Vec3{1, 1, 0}.normalized(), 1.2);
+  std::vector<Vec3> moved;
+  for (const auto& p : ca) moved.push_back(rot * p + Vec3{20, -5, 3});
+  EXPECT_NEAR(tm_score(moved, ca).tm_score, 1.0, 1e-6);
+}
+
+TEST(TmScore, MonotoneUnderNoise) {
+  Rng rng(9);
+  const auto ca = helix_trace(100);
+  double prev = 1.1;
+  for (double sigma : {0.5, 1.5, 3.0, 6.0}) {
+    Rng noise(3);
+    std::vector<Vec3> noisy = ca;
+    for (auto& p : noisy) {
+      p += Vec3{noise.normal(0, sigma), noise.normal(0, sigma), noise.normal(0, sigma)};
+    }
+    const double tm = tm_score(noisy, ca).tm_score;
+    EXPECT_LT(tm, prev);
+    prev = tm;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(TmScore, PartialMatchBeatsGlobalRmsdFit) {
+  // Half the structure matches perfectly, half is displaced far away:
+  // the iterative search must lock onto the good half.
+  const auto ca = helix_trace(80);
+  std::vector<Vec3> model = ca;
+  for (std::size_t i = 40; i < model.size(); ++i) model[i] += Vec3{25, 25, 25};
+  const TmResult r = tm_score(model, ca);
+  // Roughly half the residues at near-zero distance -> TM ~ 0.5.
+  EXPECT_GT(r.tm_score, 0.40);
+  EXPECT_LT(r.tm_score, 0.65);
+  EXPECT_GE(r.aligned, 35u);
+  EXPECT_LT(r.rmsd_aligned, 2.0);
+}
+
+TEST(TmScore, ThrowsOnLengthMismatch) {
+  EXPECT_THROW(tm_score(helix_trace(10), helix_trace(11)), std::invalid_argument);
+}
+
+TEST(TmScore, EmptyPairsGiveZero) {
+  const TmResult r = tm_score_aligned({}, {}, {}, 10);
+  EXPECT_EQ(r.tm_score, 0.0);
+}
+
+TEST(TmScore, AlignedNormalization) {
+  // Same correspondence, different normalization lengths.
+  const auto ca = helix_trace(50);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 50; ++i) pairs.emplace_back(i, i);
+  const TmResult by50 = tm_score_aligned(ca, ca, pairs, 50);
+  const TmResult by100 = tm_score_aligned(ca, ca, pairs, 100);
+  EXPECT_NEAR(by50.tm_score, 1.0, 1e-9);
+  EXPECT_NEAR(by100.tm_score, 0.5, 0.05);
+}
+
+// Property: TM in (0, 1] for random perturbation levels and sizes.
+class TmRange : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(TmRange, ScoreInRange) {
+  const auto [n, sigma] = GetParam();
+  Rng noise(n);
+  auto ca = helix_trace(n, 17);
+  std::vector<Vec3> noisy = ca;
+  for (auto& p : noisy) {
+    p += Vec3{noise.normal(0, sigma), noise.normal(0, sigma), noise.normal(0, sigma)};
+  }
+  const double tm = tm_score(noisy, ca).tm_score;
+  EXPECT_GT(tm, 0.0);
+  EXPECT_LE(tm, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TmRange,
+                         ::testing::Combine(::testing::Values(20, 60, 150),
+                                            ::testing::Values(0.2, 2.0, 8.0)));
+
+}  // namespace
+}  // namespace sf
