@@ -1,308 +1,38 @@
 #include "core/pipeline.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cmath>
-
-#include "bio/amino_acid.hpp"
-#include "core/recycle_model.hpp"
-#include "fold/memory_model.hpp"
-#include "util/string_util.hpp"
+#include <utility>
 
 namespace sf {
-
-namespace {
-
-// Allocated-node count for the feature stage: one search job per node,
-// jobs bounded by replicas x jobs-per-replica and by the allocation.
-int feature_workers(const PipelineConfig& cfg) {
-  return std::max(1, std::min(cfg.andes_nodes, cfg.db_replicas * cfg.jobs_per_replica));
-}
-
-StageReport stage_from_run(const std::string& name, const DataflowRunResult& run, int nodes,
-                           int tasks, int failed) {
-  StageReport st;
-  st.name = name;
-  st.wall_s = run.makespan_s;
-  st.node_hours = node_hours(nodes, run.makespan_s);
-  st.nodes = nodes;
-  st.tasks = tasks;
-  st.failed_tasks = failed;
-  st.mean_utilization = run.mean_utilization();
-  st.finish_spread_s = run.finish_spread_s();
-  return st;
-}
-
-}  // namespace
 
 Pipeline::Pipeline(const FoldUniverse& universe, PipelineConfig config)
     : universe_(&universe), config_(std::move(config)) {}
 
 CampaignReport Pipeline::run(const std::vector<ProteinRecord>& records) const {
   CampaignReport report;
-  const std::size_t n = records.size();
-  report.targets.resize(n);
 
-  // ---------------------------------------------------------------- //
   // Stage 1: feature generation on the CPU cluster.
-  // ---------------------------------------------------------------- //
-  std::vector<InputFeatures> features(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    features[i] = sample_features(records[i], config_.library);
-  }
-  {
-    const int workers = feature_workers(config_);
-    const double slowdown = config_.filesystem.io_slowdown(config_.jobs_per_replica);
-    std::vector<TaskSpec> tasks(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      tasks[i] = {static_cast<std::uint64_t>(i), records[i].sequence.id() + "/features",
-                  static_cast<double>(records[i].length()), i};
-    }
-    apply_order(tasks, config_.order, config_.seed);
-    SimulatedDataflowParams dp = config_.dataflow;
-    dp.workers = workers;
-    const bool full = config_.library == LibraryKind::kFull;
-    auto duration = [&](const TaskSpec& t) {
-      return config_.feature_cost.task_seconds(records[t.payload].length(), full, slowdown,
-                                               andes().cpu_node_speed);
-    };
-    const DataflowRunResult run = run_simulated_dataflow(tasks, duration, dp);
-    report.features =
-        stage_from_run("features", run, workers, static_cast<int>(n), 0);
-  }
+  SimulatedExecutor feature_exec = make_stage_executor(config_, StageKind::kFeatures);
+  const FeatureStageResult features =
+      FeatureStage().run({*universe_, config_, records, feature_exec});
+  report.features = features.report;
 
-  // ---------------------------------------------------------------- //
-  // Stage 2: model inference on Summit.
-  // ---------------------------------------------------------------- //
-  const auto models = five_models();
-  FoldingEngine engine(*universe_, config_.engine);
+  // Stage 2: model inference on Summit (OOM tasks retried per policy).
+  SimulatedExecutor inference_exec = make_stage_executor(config_, StageKind::kInference);
+  InferenceStageResult inference =
+      InferenceStage().run({*universe_, config_, records, inference_exec}, features.features);
+  report.inference = inference.report;
+  report.inference_records = std::move(inference.task_records);
+  report.targets = std::move(inference.targets);
+  report.plddt = std::move(inference.plddt);
+  report.ptms = std::move(inference.ptms);
+  report.recycles = std::move(inference.recycles);
 
-  // Choose the quality-measured subset (deterministic shuffle).
-  std::vector<std::size_t> index(n);
-  for (std::size_t i = 0; i < n; ++i) index[i] = i;
-  {
-    Rng shuffle_rng(config_.seed, 0x5A3F);
-    shuffle_rng.shuffle(index);
-  }
-  const std::size_t measured_count =
-      config_.quality_sample <= 0
-          ? n
-          : std::min<std::size_t>(n, static_cast<std::size_t>(config_.quality_sample));
-  std::vector<bool> measured(n, false);
-  for (std::size_t k = 0; k < measured_count; ++k) measured[index[k]] = true;
-
-  RecycleModel recycle_model;
-  // Per-(target, model) passes and OOM flags; structures kept only for
-  // the relaxation-measured prefix.
-  std::vector<std::array<int, 5>> passes(n);
-  std::vector<std::array<bool, 5>> oom(n);
-  struct KeptModel {
-    std::size_t record_index;
-    Structure structure;
-  };
-  std::vector<KeptModel> kept_for_relax;
-  const std::size_t relax_measured_target =
-      std::min<std::size_t>(measured_count, static_cast<std::size_t>(
-                                                std::max(0, config_.relax_sample)));
-  kept_for_relax.reserve(relax_measured_target);
-
-  for (std::size_t k = 0; k < measured_count; ++k) {
-    const std::size_t i = index[k];
-    const ProteinRecord& rec = records[i];
-    TargetResult& tr = report.targets[i];
-    tr.id = rec.sequence.id();
-    tr.length = rec.length();
-    tr.hardness = rec.hardness;
-    tr.measured = true;
-
-    const auto preds = engine.predict_all_models(rec, features[i], config_.preset);
-    for (std::size_t m = 0; m < preds.size(); ++m) {
-      oom[i][m] = preds[m].out_of_memory;
-      if (preds[m].out_of_memory) {
-        passes[i][m] = 1;  // loaded, attempted, died
-        continue;
-      }
-      passes[i][m] = preds[m].trace.recycles_run + 1;
-      recycle_model.observe(rec.hardness, rec.length(), preds[m].trace.recycles_run,
-                            preds[m].trace.converged);
-    }
-    const int top = top_model_index(preds);
-    if (top < 0) {
-      tr.oom = true;
-      continue;
-    }
-    const Prediction& best = preds[static_cast<std::size_t>(top)];
-    tr.top_model = best.model_id;
-    tr.plddt = best.plddt;
-    tr.ptms = best.ptms;
-    tr.true_tm = best.true_tm;
-    tr.true_lddt = best.true_lddt;
-    tr.recycles = best.trace.recycles_run;
-    tr.converged = best.trace.converged;
-    report.plddt.add(best.plddt);
-    report.ptms.add(best.ptms);
-    report.recycles.add(best.trace.recycles_run);
-    if (kept_for_relax.size() < relax_measured_target) {
-      kept_for_relax.push_back({i, best.structure});
-    }
-  }
-
-  // Unmeasured targets: recycle counts from the measured empirical
-  // distribution; OOM from the deterministic memory model.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (measured[i]) continue;
-    const ProteinRecord& rec = records[i];
-    TargetResult& tr = report.targets[i];
-    tr.id = rec.sequence.id();
-    tr.length = rec.length();
-    tr.hardness = rec.hardness;
-    Rng rng(rec.record_seed, 0xEC0);
-    const bool task_oom =
-        config_.engine.enforce_memory_limit &&
-        inference_memory_gb(rec.length(), config_.preset.ensembles) >
-            config_.engine.memory_budget_gb;
-    bool any_ok = false;
-    for (std::size_t m = 0; m < 5; ++m) {
-      oom[i][m] = task_oom;
-      if (task_oom) {
-        passes[i][m] = 1;
-        continue;
-      }
-      const auto draw = recycle_model.sample(rec.hardness, rec.length(), rng);
-      passes[i][m] = draw.recycles_run + 1;
-      any_ok = true;
-      if (m == 0) {
-        tr.recycles = draw.recycles_run;
-        tr.converged = draw.converged;
-      }
-    }
-    tr.oom = !any_ok;
-  }
-
-  // Build the task list: one task per (target, model), sorted by length
-  // descending (the paper's greedy load balancing).
-  {
-    std::vector<TaskSpec> tasks;
-    std::vector<TaskSpec> highmem_tasks;
-    tasks.reserve(n * 5);
-    int failed = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t m = 0; m < 5; ++m) {
-        TaskSpec t;
-        t.id = static_cast<std::uint64_t>(i * 5 + m);
-        t.name = format("%s/model%zu", records[i].sequence.id().c_str(), m + 1);
-        t.cost_hint = static_cast<double>(records[i].length());
-        t.payload = i * 8 + m;  // packed (record, model)
-        if (oom[i][m]) {
-          // The task still occupies a GPU until it dies (overhead + one
-          // pass), then either reroutes to high-memory nodes or fails.
-          tasks.push_back(t);
-          if (config_.use_highmem_for_oom) highmem_tasks.push_back(t);
-          else ++failed;
-        } else {
-          tasks.push_back(t);
-        }
-      }
-    }
-    apply_order(tasks, config_.order, config_.seed);
-
-    auto duration = [&](const TaskSpec& t) {
-      const std::size_t i = t.payload / 8;
-      const std::size_t m = t.payload % 8;
-      const int len = records[i].length();
-      if (oom[i][m]) {
-        // Dies during the first pass.
-        return config_.inference_cost.task_seconds(len, 1, config_.preset.ensembles);
-      }
-      return config_.inference_cost.task_seconds(len, passes[i][m], config_.preset.ensembles);
-    };
-
-    SimulatedDataflowParams dp = config_.dataflow;
-    dp.workers = config_.summit_nodes * summit().gpus_per_node;
-    const DataflowRunResult run = run_simulated_dataflow(tasks, duration, dp);
-    report.inference =
-        stage_from_run("inference", run, config_.summit_nodes, static_cast<int>(tasks.size()),
-                       failed);
-    report.inference_records = run.records;
-
-    if (config_.use_highmem_for_oom && !highmem_tasks.empty()) {
-      apply_order(highmem_tasks, config_.order, config_.seed);
-      SimulatedDataflowParams hp = config_.dataflow;
-      hp.workers = std::max(1, config_.highmem_nodes * summit().gpus_per_node);
-      auto hm_duration = [&](const TaskSpec& t) {
-        const std::size_t i = t.payload / 8;
-        const std::size_t m = t.payload % 8;
-        return config_.inference_cost.task_seconds(records[i].length(),
-                                                   passes[i][m] > 1 ? passes[i][m] : 4,
-                                                   config_.preset.ensembles);
-      };
-      const DataflowRunResult hm_run = run_simulated_dataflow(highmem_tasks, hm_duration, hp);
-      // High-memory reruns bill additional node-hours; the stage wall is
-      // the longer of the two concurrent jobs.
-      report.inference.node_hours += node_hours(config_.highmem_nodes, hm_run.makespan_s);
-      report.inference.wall_s = std::max(report.inference.wall_s, hm_run.makespan_s);
-    }
-  }
-
-  // ---------------------------------------------------------------- //
   // Stage 3: geometry optimization on Summit GPUs.
-  // ---------------------------------------------------------------- //
-  {
-    // Real minimizations on the kept subset; fit evals ~ a + b * atoms.
-    std::vector<double> fit_atoms;
-    std::vector<double> fit_evals;
-    for (const auto& kept : kept_for_relax) {
-      const RelaxOutcome outcome = relax_single_pass(kept.structure, config_.relax);
-      TargetResult& tr = report.targets[kept.record_index];
-      tr.relaxed = true;
-      tr.clashes_before = outcome.violations_before.clashes;
-      tr.clashes_after = outcome.violations_after.clashes;
-      tr.bumps_before = outcome.violations_before.bumps;
-      tr.bumps_after = outcome.violations_after.bumps;
-      fit_atoms.push_back(static_cast<double>(outcome.heavy_atoms));
-      fit_evals.push_back(static_cast<double>(outcome.energy_evaluations));
-    }
-    LinearFit evals_fit{120.0, 0.05};
-    if (fit_atoms.size() >= 2) evals_fit = linear_fit(fit_atoms, fit_evals);
-
-    std::vector<TaskSpec> tasks;
-    tasks.reserve(n);
-    std::vector<double> task_atoms;
-    task_atoms.reserve(n);
-    std::vector<double> task_evals(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (report.targets[i].oom) continue;
-      double atoms = 0.0;
-      for (char aa : records[i].sequence.residues()) atoms += aa_heavy_atoms(aa);
-      TaskSpec t;
-      t.id = static_cast<std::uint64_t>(i);
-      t.name = records[i].sequence.id() + "/relax";
-      t.cost_hint = atoms;
-      t.payload = i;
-      task_evals[i] = std::max(50.0, evals_fit.intercept + evals_fit.slope * atoms);
-      tasks.push_back(t);
-      task_atoms.push_back(atoms);
-    }
-    // Replace fitted counts with measured ones where available.
-    for (std::size_t k = 0; k < kept_for_relax.size() && k < fit_evals.size(); ++k) {
-      task_evals[kept_for_relax[k].record_index] = fit_evals[k];
-    }
-    apply_order(tasks, config_.order, config_.seed);
-
-    auto duration = [&](const TaskSpec& t) {
-      const std::size_t i = t.payload;
-      double atoms = 0.0;
-      for (char aa : records[i].sequence.residues()) atoms += aa_heavy_atoms(aa);
-      return config_.relax_cost.task_seconds(RelaxPlatform::kSummitGpu,
-                                             static_cast<std::size_t>(atoms),
-                                             static_cast<std::size_t>(task_evals[i]), 1);
-    };
-    SimulatedDataflowParams dp = config_.dataflow;
-    dp.workers = std::max(1, config_.relax_nodes * summit().gpus_per_node);
-    const DataflowRunResult run = run_simulated_dataflow(tasks, duration, dp);
-    report.relaxation = stage_from_run("relaxation", run, config_.relax_nodes,
-                                       static_cast<int>(tasks.size()), 0);
-  }
+  SimulatedExecutor relax_exec = make_stage_executor(config_, StageKind::kRelaxation);
+  report.relaxation = RelaxStage()
+                          .run({*universe_, config_, records, relax_exec},
+                               inference.kept_for_relax, report.targets)
+                          .report;
 
   return report;
 }

@@ -1,14 +1,16 @@
 // The three-stage proteome pipeline (the paper's primary artifact).
 //
-// Stage 1, feature generation (§3.2.1): CPU-side homology search against
-//   replicated sequence libraries on the Andes cluster, I/O dilation from
-//   the shared-filesystem model, dataflow over replicas x jobs.
-// Stage 2, model inference (§3.2.2, §3.3): five models per target, tasks
-//   sorted by descending sequence length, dispatched by the Dask-style
-//   dataflow executor to one-worker-per-GPU on Summit; dynamic recycling
-//   per preset; OOM tasks rerouted to high-memory nodes (or dropped).
-// Stage 3, geometry optimization (§3.2.3, §3.4): single-pass restrained
-//   minimization of each top model on Summit GPUs, as its own workflow.
+// Stage 1, feature generation (§3.2.1): core/stage_features.
+// Stage 2, model inference (§3.2.2, §3.3): core/stage_inference.
+// Stage 3, geometry optimization (§3.2.3, §3.4): core/stage_relax.
+//
+// Each stage is a self-contained driver taking a StageContext (records,
+// config, executor handle) and returning its StageReport plus typed
+// artifacts; Pipeline is the thin orchestrator that wires stages to
+// executors (core/stage_context.hpp builds the per-stage simulated
+// executors; any stage also runs on a ThreadedExecutor). OOM rerouting
+// to high-memory nodes is the inference stage's RetryPolicy on the
+// executor's alternate pool.
 //
 // Quality numbers (pLDDT/pTMS/recycles/violations) are *measured* on a
 // configurable subset via the real surrogate engine + minimizer; stage
@@ -16,92 +18,14 @@
 // the cost models and the simulated dataflow at full proteome scale.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <string>
 #include <vector>
 
-#include "bio/proteome.hpp"
-#include "dataflow/simulated.hpp"
-#include "dataflow/task.hpp"
-#include "fold/engine.hpp"
-#include "fold/presets.hpp"
-#include "relax/platform.hpp"
-#include "relax/protocol.hpp"
-#include "seqsearch/feature_model.hpp"
-#include "sim/cluster.hpp"
-#include "sim/cost_model.hpp"
-#include "sim/filesystem.hpp"
-#include "util/stats.hpp"
+#include "core/stage_context.hpp"
+#include "core/stage_features.hpp"
+#include "core/stage_inference.hpp"
+#include "core/stage_relax.hpp"
 
 namespace sf {
-
-struct PipelineConfig {
-  PresetConfig preset = preset_genome();
-  LibraryKind library = LibraryKind::kReduced;
-
-  // Allocations.
-  int summit_nodes = 32;        // inference: 6 GPU workers per node
-  int andes_nodes = 96;         // feature generation
-  int relax_nodes = 8;          // relaxation: 6 GPU workers per node
-  int db_replicas = 24;         // library copies on the parallel FS
-  int jobs_per_replica = 4;
-
-  TaskOrder order = TaskOrder::kDescendingCost;
-  bool use_highmem_for_oom = true;  // reroute OOM tasks to high-mem nodes
-  int highmem_nodes = 4;
-
-  // Number of targets whose quality is measured with the full geometric
-  // engine; 0 = all. Remaining targets get recycle counts from the
-  // measured empirical distribution (core/recycle_model.hpp).
-  int quality_sample = 0;
-  // Number of top models actually pushed through the real minimizer; the
-  // rest get evaluation counts from a linear fit on the measured ones.
-  int relax_sample = 200;
-
-  std::uint64_t seed = 7;
-
-  EngineParams engine;
-  InferenceCostModel inference_cost;
-  FeatureCostModel feature_cost;
-  FilesystemModel filesystem;
-  RelaxCostModel relax_cost;
-  RelaxParams relax;
-  SimulatedDataflowParams dataflow;  // workers overwritten per stage
-};
-
-struct StageReport {
-  std::string name;
-  double wall_s = 0.0;
-  double node_hours = 0.0;
-  int nodes = 0;
-  int tasks = 0;
-  int failed_tasks = 0;
-  double mean_utilization = 0.0;
-  double finish_spread_s = 0.0;
-};
-
-// Per-target outcome for quality-measured targets.
-struct TargetResult {
-  std::string id;
-  int length = 0;
-  double hardness = 0.0;
-  bool measured = false;    // full geometric engine ran
-  int top_model = 0;        // 1..5
-  double plddt = 0.0;
-  double ptms = 0.0;
-  double true_tm = 0.0;
-  double true_lddt = 0.0;
-  int recycles = 0;         // of the top model
-  bool converged = false;
-  bool oom = false;         // all models OOMed (dropped target)
-  // Relaxation outcome (measured subset only).
-  bool relaxed = false;
-  std::size_t clashes_before = 0;
-  std::size_t clashes_after = 0;
-  std::size_t bumps_before = 0;
-  std::size_t bumps_after = 0;
-};
 
 struct CampaignReport {
   StageReport features;
@@ -133,7 +57,8 @@ class Pipeline {
 
   const PipelineConfig& config() const { return config_; }
 
-  // Run the full three-stage campaign over `records`.
+  // Run the full three-stage campaign over `records` on per-stage
+  // simulated executors (the paper's deployment shape).
   CampaignReport run(const std::vector<ProteinRecord>& records) const;
 
  private:

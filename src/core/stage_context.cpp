@@ -1,0 +1,56 @@
+#include "core/stage_context.hpp"
+
+#include <algorithm>
+
+namespace sf {
+
+int stage_nodes(const PipelineConfig& cfg, StageKind stage) {
+  switch (stage) {
+    case StageKind::kFeatures:
+      // One search job per node, jobs bounded by replicas x
+      // jobs-per-replica and by the allocation.
+      return std::max(1, std::min(cfg.andes_nodes, cfg.db_replicas * cfg.jobs_per_replica));
+    case StageKind::kInference:
+      return cfg.summit_nodes;
+    case StageKind::kRelaxation:
+      return cfg.relax_nodes;
+  }
+  return 0;
+}
+
+SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage) {
+  switch (stage) {
+    case StageKind::kFeatures:
+      return SimulatedExecutor::from_pools(cfg.dataflow,
+                                           andes_cpu_pool(stage_nodes(cfg, StageKind::kFeatures)));
+    case StageKind::kInference: {
+      const WorkerPool primary = summit_gpu_pool(cfg.summit_nodes);
+      if (!cfg.use_highmem_for_oom) return SimulatedExecutor::from_pools(cfg.dataflow, primary);
+      WorkerPool alt = summit_highmem_pool(cfg.highmem_nodes);
+      if (alt.workers() == 0) alt = {"summit-highmem", 1, 1, 1.0};  // minimum viable pool
+      return SimulatedExecutor::from_pools(cfg.dataflow, primary, alt);
+    }
+    case StageKind::kRelaxation: {
+      WorkerPool pool = summit_gpu_pool(cfg.relax_nodes);
+      if (pool.workers() == 0) pool = {"summit-gpu", 1, 1, 1.0};
+      return SimulatedExecutor::from_pools(cfg.dataflow, pool);
+    }
+  }
+  return SimulatedExecutor::from_pools({}, {"empty", 1, 1, 1.0});
+}
+
+StageReport stage_report_from(const std::string& name, const MapResult& run, int nodes,
+                              int tasks) {
+  StageReport st;
+  st.name = name;
+  st.wall_s = run.wall_s();
+  st.node_hours = node_hours(nodes, run.primary_pool_s());
+  st.nodes = nodes;
+  st.tasks = tasks;
+  st.failed_tasks = run.failed_tasks;
+  st.mean_utilization = run.primary.mean_utilization();
+  st.finish_spread_s = run.primary.finish_spread_s();
+  return st;
+}
+
+}  // namespace sf

@@ -1,0 +1,129 @@
+// Shared context and report types for the pipeline's stage drivers.
+//
+// Each stage of the paper's workflow (features → inference →
+// relaxation) is a self-contained driver that takes a StageContext --
+// the record list, campaign configuration, and the executor backing the
+// stage -- and returns its StageReport plus typed artifacts. The
+// Pipeline is only the orchestrator that wires stages to executors; any
+// stage can run on either dataflow backend (simulated or threaded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/proteome.hpp"
+#include "dataflow/executor.hpp"
+#include "dataflow/task.hpp"
+#include "fold/engine.hpp"
+#include "fold/presets.hpp"
+#include "relax/platform.hpp"
+#include "relax/protocol.hpp"
+#include "seqsearch/feature_model.hpp"
+#include "sim/cluster.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/filesystem.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sf {
+
+struct PipelineConfig {
+  PresetConfig preset = preset_genome();
+  LibraryKind library = LibraryKind::kReduced;
+
+  // Allocations.
+  int summit_nodes = 32;        // inference: 6 GPU workers per node
+  int andes_nodes = 96;         // feature generation
+  int relax_nodes = 8;          // relaxation: 6 GPU workers per node
+  int db_replicas = 24;         // library copies on the parallel FS
+  int jobs_per_replica = 4;
+
+  TaskOrder order = TaskOrder::kDescendingCost;
+  bool use_highmem_for_oom = true;  // reroute OOM tasks to high-mem nodes
+  int highmem_nodes = 4;
+
+  // Number of targets whose quality is measured with the full geometric
+  // engine; 0 = all. Remaining targets get recycle counts from the
+  // measured empirical distribution (core/recycle_model.hpp).
+  int quality_sample = 0;
+  // Number of top models actually pushed through the real minimizer; the
+  // rest get evaluation counts from a linear fit on the measured ones.
+  int relax_sample = 200;
+
+  std::uint64_t seed = 7;
+
+  EngineParams engine;
+  InferenceCostModel inference_cost;
+  FeatureCostModel feature_cost;
+  FilesystemModel filesystem;
+  RelaxCostModel relax_cost;
+  RelaxParams relax;
+  SimulatedDataflowParams dataflow;  // workers overwritten per stage
+};
+
+struct StageReport {
+  std::string name;
+  double wall_s = 0.0;
+  double node_hours = 0.0;
+  int nodes = 0;
+  int tasks = 0;
+  int failed_tasks = 0;
+  double mean_utilization = 0.0;
+  double finish_spread_s = 0.0;
+};
+
+// Per-target outcome for quality-measured targets.
+struct TargetResult {
+  std::string id;
+  int length = 0;
+  double hardness = 0.0;
+  bool measured = false;    // full geometric engine ran
+  int top_model = 0;        // 1..5
+  double plddt = 0.0;
+  double ptms = 0.0;
+  double true_tm = 0.0;
+  double true_lddt = 0.0;
+  int recycles = 0;         // of the top model
+  bool converged = false;
+  bool oom = false;         // all models OOMed (dropped target)
+  // Relaxation outcome (measured subset only).
+  bool relaxed = false;
+  std::size_t clashes_before = 0;
+  std::size_t clashes_after = 0;
+  std::size_t bumps_before = 0;
+  std::size_t bumps_after = 0;
+};
+
+enum class StageKind { kFeatures, kInference, kRelaxation };
+
+// Everything a stage driver needs: inputs, configuration, and the
+// executor its task map runs on.
+struct StageContext {
+  const FoldUniverse& universe;
+  const PipelineConfig& config;
+  const std::vector<ProteinRecord>& records;
+  Executor& executor;
+
+  // Deterministic per-stage RNG stream derived from the campaign seed.
+  Rng stage_rng(std::uint64_t stream) const { return Rng(config.seed, stream); }
+};
+
+// Allocated-node count a stage's executor is built from (and billed
+// against): one search job per Andes node for features, 6 GPU workers
+// per Summit node for inference/relaxation.
+int stage_nodes(const PipelineConfig& cfg, StageKind stage);
+
+// Build the simulated executor for `stage` per the paper's §3 placement:
+// the inference executor carries the high-memory alternate pool used by
+// the OOM RetryPolicy when `use_highmem_for_oom` is set.
+SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage);
+
+// Summarize one executor map() into the campaign's stage report. Wall
+// clock spans both pools (they run concurrently); node-hours cover the
+// primary pool only -- callers bill alternate-pool time against its own
+// node count (MapResult::alt_pool_s).
+StageReport stage_report_from(const std::string& name, const MapResult& run, int nodes,
+                              int tasks);
+
+}  // namespace sf

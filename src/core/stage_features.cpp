@@ -1,0 +1,37 @@
+#include "core/stage_features.hpp"
+
+namespace sf {
+
+FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
+  const PipelineConfig& cfg = ctx.config;
+  const std::vector<ProteinRecord>& records = ctx.records;
+  const std::size_t n = records.size();
+
+  FeatureStageResult out;
+  out.features.resize(n);
+
+  std::vector<TaskSpec> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i] = {static_cast<std::uint64_t>(i), records[i].sequence.id() + "/features",
+                static_cast<double>(records[i].length()), i};
+  }
+  apply_order(tasks, cfg.order, cfg.seed);
+
+  const double slowdown = cfg.filesystem.io_slowdown(cfg.jobs_per_replica);
+  const bool full = cfg.library == LibraryKind::kFull;
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    const std::size_t i = t.payload;
+    out.features[i] = sample_features(records[i], cfg.library);
+    TaskOutcome o;
+    o.sim_duration_s = cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
+                                                     andes().cpu_node_speed);
+    return o;
+  };
+
+  const MapResult run = ctx.executor.map(tasks, fn);
+  out.report = stage_report_from("features", run, stage_nodes(cfg, StageKind::kFeatures),
+                                 static_cast<int>(n));
+  return out;
+}
+
+}  // namespace sf

@@ -1,0 +1,27 @@
+// Stage 1: feature generation on the CPU cluster (§3.2.1).
+//
+// CPU-side homology search against replicated sequence libraries on the
+// Andes cluster; I/O dilation from the shared-filesystem model; one
+// dataflow task per target. The task function does the real feature
+// sampling, so on a threaded executor the searches genuinely run
+// concurrently, while the simulated executor prices them with the
+// feature cost model at full allocation scale.
+#pragma once
+
+#include <vector>
+
+#include "core/stage_context.hpp"
+
+namespace sf {
+
+struct FeatureStageResult {
+  StageReport report;
+  std::vector<InputFeatures> features;  // one per input record
+};
+
+class FeatureStage {
+ public:
+  FeatureStageResult run(const StageContext& ctx) const;
+};
+
+}  // namespace sf

@@ -1,0 +1,176 @@
+#include "core/stage_inference.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/recycle_model.hpp"
+#include "fold/memory_model.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+
+InferenceStageResult InferenceStage::run(const StageContext& ctx,
+                                         const std::vector<InputFeatures>& features) const {
+  const PipelineConfig& cfg = ctx.config;
+  const std::vector<ProteinRecord>& records = ctx.records;
+  const std::size_t n = records.size();
+
+  InferenceStageResult out;
+  out.targets.resize(n);
+
+  FoldingEngine engine(ctx.universe, cfg.engine);
+
+  // Choose the quality-measured subset (deterministic shuffle).
+  std::vector<std::size_t> index(n);
+  for (std::size_t i = 0; i < n; ++i) index[i] = i;
+  {
+    Rng shuffle_rng = ctx.stage_rng(0x5A3F);
+    shuffle_rng.shuffle(index);
+  }
+  const std::size_t measured_count =
+      cfg.quality_sample <= 0
+          ? n
+          : std::min<std::size_t>(n, static_cast<std::size_t>(cfg.quality_sample));
+  std::vector<bool> measured(n, false);
+  for (std::size_t k = 0; k < measured_count; ++k) measured[index[k]] = true;
+
+  RecycleModel recycle_model;
+  // Per-(target, model) passes and OOM flags; structures kept only for
+  // the relaxation-measured prefix.
+  std::vector<std::array<int, 5>> passes(n);
+  std::vector<std::array<bool, 5>> oom(n);
+  const std::size_t relax_measured_target =
+      std::min<std::size_t>(measured_count, static_cast<std::size_t>(
+                                                std::max(0, cfg.relax_sample)));
+  out.kept_for_relax.reserve(relax_measured_target);
+
+  for (std::size_t k = 0; k < measured_count; ++k) {
+    const std::size_t i = index[k];
+    const ProteinRecord& rec = records[i];
+    TargetResult& tr = out.targets[i];
+    tr.id = rec.sequence.id();
+    tr.length = rec.length();
+    tr.hardness = rec.hardness;
+    tr.measured = true;
+
+    const auto preds = engine.predict_all_models(rec, features[i], cfg.preset);
+    for (std::size_t m = 0; m < preds.size(); ++m) {
+      oom[i][m] = preds[m].out_of_memory;
+      if (preds[m].out_of_memory) {
+        passes[i][m] = 1;  // loaded, attempted, died
+        continue;
+      }
+      passes[i][m] = preds[m].trace.recycles_run + 1;
+      recycle_model.observe(rec.hardness, rec.length(), preds[m].trace.recycles_run,
+                            preds[m].trace.converged);
+    }
+    const int top = top_model_index(preds);
+    if (top < 0) {
+      tr.oom = true;
+      continue;
+    }
+    const Prediction& best = preds[static_cast<std::size_t>(top)];
+    tr.top_model = best.model_id;
+    tr.plddt = best.plddt;
+    tr.ptms = best.ptms;
+    tr.true_tm = best.true_tm;
+    tr.true_lddt = best.true_lddt;
+    tr.recycles = best.trace.recycles_run;
+    tr.converged = best.trace.converged;
+    out.plddt.add(best.plddt);
+    out.ptms.add(best.ptms);
+    out.recycles.add(best.trace.recycles_run);
+    if (out.kept_for_relax.size() < relax_measured_target) {
+      out.kept_for_relax.push_back({i, best.structure});
+    }
+  }
+
+  // Unmeasured targets: recycle counts from the measured empirical
+  // distribution; OOM from the deterministic memory model.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (measured[i]) continue;
+    const ProteinRecord& rec = records[i];
+    TargetResult& tr = out.targets[i];
+    tr.id = rec.sequence.id();
+    tr.length = rec.length();
+    tr.hardness = rec.hardness;
+    Rng rng(rec.record_seed, 0xEC0);
+    const bool task_oom =
+        cfg.engine.enforce_memory_limit &&
+        inference_memory_gb(rec.length(), cfg.preset.ensembles) > cfg.engine.memory_budget_gb;
+    bool any_ok = false;
+    for (std::size_t m = 0; m < 5; ++m) {
+      oom[i][m] = task_oom;
+      if (task_oom) {
+        passes[i][m] = 1;
+        continue;
+      }
+      const auto draw = recycle_model.sample(rec.hardness, rec.length(), rng);
+      passes[i][m] = draw.recycles_run + 1;
+      any_ok = true;
+      if (m == 0) {
+        tr.recycles = draw.recycles_run;
+        tr.converged = draw.converged;
+      }
+    }
+    tr.oom = !any_ok;
+  }
+
+  // One task per (target, model), sorted by length descending (the
+  // paper's greedy load balancing).
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(n * 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t m = 0; m < 5; ++m) {
+      TaskSpec t;
+      t.id = static_cast<std::uint64_t>(i * 5 + m);
+      t.name = format("%s/model%zu", records[i].sequence.id().c_str(), m + 1);
+      t.cost_hint = static_cast<double>(records[i].length());
+      t.payload = pack_task(i, m);
+      tasks.push_back(t);
+    }
+  }
+  apply_order(tasks, cfg.order, cfg.seed);
+
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt& at) {
+    const PackedTask p = unpack_task(t.payload);
+    const int len = records[p.record].length();
+    const int task_passes = passes[p.record][p.model];
+    TaskOutcome o;
+    if (!oom[p.record][p.model]) {
+      o.sim_duration_s = cfg.inference_cost.task_seconds(len, task_passes, cfg.preset.ensembles);
+      return o;
+    }
+    if (at.alt_pool) {
+      // High-memory rerun: the full prediction, priced at the recycles it
+      // actually needs (at least the memory-model default of 4 passes).
+      o.sim_duration_s = cfg.inference_cost.task_seconds(
+          len, task_passes > 1 ? task_passes : 4, cfg.preset.ensembles);
+      return o;
+    }
+    // The task still occupies a GPU until it dies (overhead + one pass),
+    // then the RetryPolicy reroutes it or counts it as failed.
+    o.ok = false;
+    o.sim_duration_s = cfg.inference_cost.task_seconds(len, 1, cfg.preset.ensembles);
+    return o;
+  };
+
+  RetryPolicy retry;
+  retry.retry_order = cfg.order;
+  retry.seed = cfg.seed;
+  if (cfg.use_highmem_for_oom) {
+    retry.max_attempts = 2;
+    retry.reroute_to_alt_pool = true;
+  }
+
+  MapResult run = ctx.executor.map(tasks, fn, retry);
+  out.report = stage_report_from("inference", run, stage_nodes(cfg, StageKind::kInference),
+                                 static_cast<int>(tasks.size()));
+  // High-memory reruns bill additional node-hours against their own
+  // (smaller) node count; the stage wall already spans both pools.
+  out.report.node_hours += node_hours(cfg.highmem_nodes, run.alt_pool_s());
+  out.task_records = std::move(run.primary.records);
+  return out;
+}
+
+}  // namespace sf

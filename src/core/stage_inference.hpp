@@ -1,0 +1,42 @@
+// Stage 2: model inference on Summit (§3.2.2, §3.3).
+//
+// Five models per target, tasks sorted by descending sequence length,
+// dispatched one-worker-per-GPU. Quality is measured with the real
+// surrogate engine on a configurable subset; the rest draw recycle
+// counts from the measured empirical distribution. OOM tasks are
+// handled by the executor's RetryPolicy: they die on the standard pool
+// and either reroute to the high-memory pool (one rerun, more passes)
+// or count as failed -- the paper's Table 1 footnote behaviour.
+#pragma once
+
+#include <vector>
+
+#include "core/stage_context.hpp"
+
+namespace sf {
+
+// A top model kept aside for the relaxation stage's measured subset.
+struct KeptModel {
+  std::size_t record_index;
+  Structure structure;
+};
+
+struct InferenceStageResult {
+  StageReport report;
+  std::vector<TaskRecord> task_records;  // primary-pool timeline (Fig. 2)
+  std::vector<KeptModel> kept_for_relax;
+  std::vector<TargetResult> targets;     // one per input record
+
+  // Distributions over the measured subset.
+  SampleSet plddt;
+  SampleSet ptms;
+  SampleSet recycles;
+};
+
+class InferenceStage {
+ public:
+  InferenceStageResult run(const StageContext& ctx,
+                           const std::vector<InputFeatures>& features) const;
+};
+
+}  // namespace sf

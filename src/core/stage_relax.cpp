@@ -1,0 +1,73 @@
+#include "core/stage_relax.hpp"
+
+#include <algorithm>
+
+#include "bio/amino_acid.hpp"
+
+namespace sf {
+
+RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<KeptModel>& kept,
+                                 std::vector<TargetResult>& targets) const {
+  const PipelineConfig& cfg = ctx.config;
+  const std::vector<ProteinRecord>& records = ctx.records;
+  const std::size_t n = records.size();
+
+  // Real minimizations on the kept subset; fit evals ~ a + b * atoms.
+  std::vector<double> fit_atoms;
+  std::vector<double> fit_evals;
+  for (const auto& k : kept) {
+    const RelaxOutcome outcome = relax_single_pass(k.structure, cfg.relax);
+    TargetResult& tr = targets[k.record_index];
+    tr.relaxed = true;
+    tr.clashes_before = outcome.violations_before.clashes;
+    tr.clashes_after = outcome.violations_after.clashes;
+    tr.bumps_before = outcome.violations_before.bumps;
+    tr.bumps_after = outcome.violations_after.bumps;
+    fit_atoms.push_back(static_cast<double>(outcome.heavy_atoms));
+    fit_evals.push_back(static_cast<double>(outcome.energy_evaluations));
+  }
+  LinearFit evals_fit{120.0, 0.05};
+  if (fit_atoms.size() >= 2) evals_fit = linear_fit(fit_atoms, fit_evals);
+
+  // Per-record heavy-atom counts, computed once and shared by the task
+  // build and the duration pricing below.
+  std::vector<double> heavy_atoms(n, 0.0);
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(n);
+  std::vector<double> task_evals(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (targets[i].oom) continue;
+    double atoms = 0.0;
+    for (char aa : records[i].sequence.residues()) atoms += aa_heavy_atoms(aa);
+    heavy_atoms[i] = atoms;
+    TaskSpec t;
+    t.id = static_cast<std::uint64_t>(i);
+    t.name = records[i].sequence.id() + "/relax";
+    t.cost_hint = atoms;
+    t.payload = i;
+    task_evals[i] = std::max(50.0, evals_fit.intercept + evals_fit.slope * atoms);
+    tasks.push_back(t);
+  }
+  // Replace fitted counts with measured ones where available.
+  for (std::size_t k = 0; k < kept.size() && k < fit_evals.size(); ++k) {
+    task_evals[kept[k].record_index] = fit_evals[k];
+  }
+  apply_order(tasks, cfg.order, cfg.seed);
+
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    const std::size_t i = t.payload;
+    TaskOutcome o;
+    o.sim_duration_s = cfg.relax_cost.task_seconds(RelaxPlatform::kSummitGpu,
+                                                   static_cast<std::size_t>(heavy_atoms[i]),
+                                                   static_cast<std::size_t>(task_evals[i]), 1);
+    return o;
+  };
+
+  const MapResult run = ctx.executor.map(tasks, fn);
+  RelaxStageResult out;
+  out.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),
+                                 static_cast<int>(tasks.size()));
+  return out;
+}
+
+}  // namespace sf

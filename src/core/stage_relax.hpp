@@ -1,0 +1,30 @@
+// Stage 3: geometry optimization on Summit GPUs (§3.2.3, §3.4).
+//
+// Single-pass restrained minimization of each top model, deployed as
+// its own workflow. Real minimizations run on the kept measured subset;
+// their energy-evaluation counts calibrate a linear fit (evals ~ a +
+// b * heavy_atoms) that prices every remaining target through the relax
+// cost model on the stage executor.
+#pragma once
+
+#include <vector>
+
+#include "core/stage_context.hpp"
+#include "core/stage_inference.hpp"
+
+namespace sf {
+
+struct RelaxStageResult {
+  StageReport report;
+};
+
+class RelaxStage {
+ public:
+  // Runs the relaxation workflow over every non-dropped target,
+  // annotating `targets` in place with measured relaxation outcomes for
+  // the kept models.
+  RelaxStageResult run(const StageContext& ctx, const std::vector<KeptModel>& kept,
+                       std::vector<TargetResult>& targets) const;
+};
+
+}  // namespace sf

@@ -1,0 +1,160 @@
+// Unified dataflow executor interface.
+//
+// Both backends -- the discrete-event simulated dataflow (6,000 workers
+// on a laptop) and the real threaded dataflow (actual work on this
+// host) -- implement the same map()/TaskRecord semantics: submit an
+// ordered task list, get back one TaskRecord per task attempt plus pool
+// makespans. Failure handling is declarative: a RetryPolicy describes
+// how many attempts each task gets and whether failed tasks reroute to
+// the executor's alternate worker pool (the paper's high-memory-node
+// rerun for OOM inference tasks, §3.3, generalized so *any* stage can
+// retry or reroute).
+//
+// The task function does the stage's work and reports a TaskOutcome:
+// whether the attempt succeeded and, for simulated backends, the
+// modeled duration. It receives a TaskAttempt so workloads can price
+// retries differently (e.g. a high-memory rerun runs more passes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dataflow/simulated.hpp"
+#include "dataflow/task.hpp"
+#include "dataflow/threaded.hpp"
+
+namespace sf {
+
+struct WorkerPool;  // sim/cluster.hpp
+
+// Which try this is and on which pool it runs.
+struct TaskAttempt {
+  int attempt = 0;        // 0 = first attempt, 1.. = retries
+  bool alt_pool = false;  // running on the alternate worker pool
+};
+
+// What one task attempt did.
+struct TaskOutcome {
+  bool ok = true;               // false => candidate for retry/reroute
+  double sim_duration_s = 0.0;  // modeled cost (simulated backends only)
+};
+
+using TaskFn = std::function<TaskOutcome(const TaskSpec&, const TaskAttempt&)>;
+
+// Declarative failure handling, applied identically by every backend.
+struct RetryPolicy {
+  int max_attempts = 1;              // total attempts per task (1 = no retry)
+  bool reroute_to_alt_pool = false;  // retries run on the alternate pool
+  double retry_cost_scale = 1.0;     // duration multiplier per retry attempt
+  // Failed tasks are re-queued in canonical task-id order, then this
+  // ordering policy is applied (mirrors the stage's own queue order).
+  TaskOrder retry_order = TaskOrder::kSubmission;
+  std::uint64_t seed = 0;
+};
+
+// One retry round: the failed set of the previous attempt, re-run.
+struct RetryRound {
+  int attempt = 0;        // 1-based retry index
+  bool alt_pool = false;  // ran on the alternate pool
+  int tasks = 0;
+  DataflowRunResult run;
+};
+
+struct MapResult {
+  DataflowRunResult primary;        // first attempt, every task
+  std::vector<RetryRound> retries;  // later attempts, failed sets only
+  int failed_tasks = 0;             // tasks that exhausted all attempts
+  int rerouted_tasks = 0;           // task attempts run on the alt pool
+
+  // Busy span of each pool: retry rounds run serially after the round
+  // that produced their failures.
+  double primary_pool_s() const;
+  double alt_pool_s() const;
+  // Stage wall: the two pools run concurrently.
+  double wall_s() const;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual const char* name() const = 0;
+  virtual int workers() const = 0;      // primary pool width
+  virtual int alt_workers() const = 0;  // alternate pool width (0 = none)
+
+  // Map `fn` over `tasks` (already ordered) under `policy`. The retry
+  // loop is shared across backends (template method); backends only
+  // supply run_batch().
+  MapResult map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
+                const RetryPolicy& policy = {});
+
+ protected:
+  enum class Pool { kPrimary, kAlt };
+
+  // Run one attempt of `batch` on `pool`; append tasks whose outcome was
+  // not ok to `failed` in batch submission order. `cost_scale`
+  // multiplies modeled durations (simulated backends).
+  virtual DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
+                                      const TaskAttempt& attempt, double cost_scale, Pool pool,
+                                      std::vector<TaskSpec>& failed) = 0;
+};
+
+// Simulated-time backend: wraps run_simulated_dataflow() for the primary
+// pool and (optionally) an alternate pool, e.g. Summit's high-memory
+// nodes. Durations come from TaskOutcome::sim_duration_s.
+class SimulatedExecutor final : public Executor {
+ public:
+  // `alt` with workers == 0 means "no alternate pool".
+  explicit SimulatedExecutor(SimulatedDataflowParams primary,
+                             SimulatedDataflowParams alt = no_pool());
+
+  // Build from machine worker-pool descriptions (sim/cluster.hpp);
+  // `base` supplies dispatch overhead / startup shared by both pools.
+  static SimulatedExecutor from_pools(const SimulatedDataflowParams& base,
+                                      const WorkerPool& primary);
+  static SimulatedExecutor from_pools(const SimulatedDataflowParams& base,
+                                      const WorkerPool& primary, const WorkerPool& alt);
+
+  const char* name() const override { return "simulated"; }
+  int workers() const override { return primary_.workers; }
+  int alt_workers() const override { return alt_.workers; }
+
+ protected:
+  DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
+                              const TaskAttempt& attempt, double cost_scale, Pool pool,
+                              std::vector<TaskSpec>& failed) override;
+
+ private:
+  static SimulatedDataflowParams no_pool() {
+    SimulatedDataflowParams p;
+    p.workers = 0;
+    return p;
+  }
+
+  SimulatedDataflowParams primary_;
+  SimulatedDataflowParams alt_;
+};
+
+// Real-execution backend: tasks actually run on host threads (one
+// ThreadedDataflow per pool); records carry wall-clock times.
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(std::size_t workers, std::size_t alt_workers = 0);
+
+  const char* name() const override { return "threaded"; }
+  int workers() const override { return static_cast<int>(primary_.workers()); }
+  int alt_workers() const override { return alt_ ? static_cast<int>(alt_->workers()) : 0; }
+
+ protected:
+  DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
+                              const TaskAttempt& attempt, double cost_scale, Pool pool,
+                              std::vector<TaskSpec>& failed) override;
+
+ private:
+  ThreadedDataflow primary_;
+  std::unique_ptr<ThreadedDataflow> alt_;
+};
+
+}  // namespace sf

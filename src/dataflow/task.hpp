@@ -20,6 +20,24 @@ struct TaskSpec {
   std::size_t payload = 0; // caller-defined index into its own data
 };
 
+// (record, model) payload packing for stages whose tasks are one model
+// of one target. The stride leaves room for up to 8 models per record
+// (AlphaFold ships 5).
+inline constexpr std::size_t kModelsPerRecordStride = 8;
+
+struct PackedTask {
+  std::size_t record = 0;  // index into the stage's record array
+  std::size_t model = 0;   // 0-based model index
+};
+
+constexpr std::size_t pack_task(std::size_t record, std::size_t model) {
+  return record * kModelsPerRecordStride + model;
+}
+
+constexpr PackedTask unpack_task(std::size_t payload) {
+  return {payload / kModelsPerRecordStride, payload % kModelsPerRecordStride};
+}
+
 struct TaskRecord {
   std::uint64_t task_id = 0;
   std::string name;

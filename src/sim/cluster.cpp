@@ -41,6 +41,18 @@ MachineSpec phoenix() {
   return m;
 }
 
+WorkerPool summit_gpu_pool(int nodes) {
+  return {"summit-gpu", nodes, summit().gpus_per_node, 1.0};
+}
+
+WorkerPool summit_highmem_pool(int nodes) {
+  return {"summit-highmem", nodes, summit().gpus_per_node, 1.0};
+}
+
+WorkerPool andes_cpu_pool(int nodes) {
+  return {"andes-cpu", nodes, 1, 1.0};
+}
+
 double node_hours(int nodes, double wall_seconds) {
   return static_cast<double>(nodes) * wall_seconds / 3600.0;
 }

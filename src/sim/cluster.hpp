@@ -31,6 +31,25 @@ MachineSpec summit();
 MachineSpec andes();
 MachineSpec phoenix();
 
+// A named slice of a machine used as a dataflow worker pool: `nodes`
+// allocated nodes exposing `workers_per_node` dataflow workers each
+// (one per GPU for GPU stages, one per node for CPU stages). Executors
+// are built from these descriptions, and a RetryPolicy can reroute
+// failed tasks to an alternate pool (e.g. Summit's high-memory nodes).
+struct WorkerPool {
+  std::string name;
+  int nodes = 0;
+  int workers_per_node = 1;
+  double worker_speed = 1.0;  // relative throughput per worker
+
+  int workers() const { return nodes * workers_per_node; }
+};
+
+// Standard pools of the paper's deployment (§3.3-§3.4).
+WorkerPool summit_gpu_pool(int nodes);       // one worker per V100
+WorkerPool summit_highmem_pool(int nodes);   // OOM-rerun pool
+WorkerPool andes_cpu_pool(int nodes);        // one search job per node
+
 // Node-hours for `nodes` allocated over `wall_seconds` (facility billing:
 // allocation x wall clock, idle or not).
 double node_hours(int nodes, double wall_seconds);

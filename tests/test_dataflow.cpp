@@ -45,6 +45,25 @@ TEST(TaskOrder, Policies) {
   EXPECT_EQ(a, b);  // permutation
 }
 
+TEST(TaskPacking, RoundTrip) {
+  static_assert(pack_task(0, 0) == 0);
+  static_assert(pack_task(3, 2) == 3 * kModelsPerRecordStride + 2);
+  for (std::size_t record : {0u, 1u, 41u, 25134u}) {
+    for (std::size_t model = 0; model < 5; ++model) {
+      const PackedTask p = unpack_task(pack_task(record, model));
+      EXPECT_EQ(p.record, record);
+      EXPECT_EQ(p.model, model);
+    }
+  }
+}
+
+TEST(TaskPacking, StrideLeavesRoomForEightModels) {
+  // Adjacent records never collide, up to the stride's model capacity.
+  EXPECT_EQ(unpack_task(pack_task(7, kModelsPerRecordStride - 1)).record, 7u);
+  EXPECT_EQ(unpack_task(pack_task(8, 0)).record, 8u);
+  EXPECT_LT(pack_task(7, kModelsPerRecordStride - 1), pack_task(8, 0));
+}
+
 TEST(SimulatedDataflow, EveryTaskRunsExactlyOnce) {
   const auto tasks = make_tasks(200);
   SimulatedDataflowParams params;

@@ -1,0 +1,242 @@
+// Unified Executor interface: backend parity between the threaded and
+// simulated dataflows, and the declarative RetryPolicy (exhaust-retries
+// and reroute-to-alternate-pool paths).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "dataflow/executor.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace {
+
+std::vector<TaskSpec> make_tasks(int n, std::uint64_t cost_seed = 3) {
+  Rng rng(cost_seed);
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = static_cast<std::uint64_t>(i);
+    t.name = "task" + std::to_string(i);
+    t.cost_hint = rng.lognormal(1.0, 0.5);
+    t.payload = static_cast<std::size_t>(i);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+// Runs a pure computation through `exec` and returns the per-payload
+// results (submission order, independent of completion order).
+std::vector<int> run_compute(Executor& exec, const std::vector<TaskSpec>& tasks,
+                             MapResult* out_run = nullptr) {
+  std::vector<int> results(tasks.size(), -1);
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    results[t.payload] = static_cast<int>(t.payload) * 3 + 1;
+    TaskOutcome o;
+    o.sim_duration_s = t.cost_hint;
+    return o;
+  };
+  const MapResult run = exec.map(tasks, fn);
+  if (out_run) *out_run = run;
+  return results;
+}
+
+void check_record_invariants(const std::vector<TaskRecord>& records, std::size_t expected) {
+  ASSERT_EQ(records.size(), expected);
+  std::set<std::uint64_t> seen;
+  for (const auto& r : records) {
+    EXPECT_LE(r.start_s, r.end_s) << r.name;
+    EXPECT_GE(r.start_s, 0.0) << r.name;
+    seen.insert(r.task_id);
+  }
+  EXPECT_EQ(seen.size(), expected);  // one record per task
+}
+
+TEST(Executor, BackendParity) {
+  auto tasks = make_tasks(64);
+  apply_order(tasks, TaskOrder::kDescendingCost);
+
+  SimulatedDataflowParams params;
+  params.workers = 6;
+  SimulatedExecutor sim{params};
+  ThreadedExecutor threaded(6);
+  EXPECT_EQ(sim.workers(), threaded.workers());
+
+  MapResult sim_run, thr_run;
+  const auto sim_results = run_compute(sim, tasks, &sim_run);
+  const auto thr_results = run_compute(threaded, tasks, &thr_run);
+
+  // Same result ordering on both backends: results land at their
+  // payload slot regardless of completion order.
+  EXPECT_EQ(sim_results, thr_results);
+  for (std::size_t i = 0; i < sim_results.size(); ++i) {
+    EXPECT_EQ(sim_results[i], static_cast<int>(i) * 3 + 1);
+  }
+
+  // TaskRecord invariants hold on both backends.
+  check_record_invariants(sim_run.primary.records, tasks.size());
+  check_record_invariants(thr_run.primary.records, tasks.size());
+  EXPECT_EQ(sim_run.failed_tasks, 0);
+  EXPECT_EQ(thr_run.failed_tasks, 0);
+  EXPECT_TRUE(sim_run.retries.empty());
+  EXPECT_TRUE(thr_run.retries.empty());
+  EXPECT_GT(sim_run.wall_s(), 0.0);
+  EXPECT_GT(thr_run.wall_s(), 0.0);
+}
+
+TEST(Executor, RetryExhaustsToFailed) {
+  const auto tasks = make_tasks(20);
+  SimulatedDataflowParams params;
+  params.workers = 4;
+  SimulatedExecutor exec{params};
+
+  std::map<std::uint64_t, int> attempts;
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt& at) {
+    ++attempts[t.id];
+    EXPECT_FALSE(at.alt_pool);  // no alternate pool configured
+    TaskOutcome o;
+    o.ok = t.id % 2 == 0;  // odd ids never succeed
+    o.sim_duration_s = 1.0;
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  const MapResult run = exec.map(tasks, fn, policy);
+
+  EXPECT_EQ(run.failed_tasks, 10);
+  EXPECT_EQ(run.rerouted_tasks, 0);
+  ASSERT_EQ(run.retries.size(), 2u);
+  EXPECT_FALSE(run.retries[0].alt_pool);
+  EXPECT_EQ(run.retries[0].tasks, 10);
+  EXPECT_EQ(run.retries[1].tasks, 10);
+  for (const auto& [id, count] : attempts) {
+    EXPECT_EQ(count, id % 2 == 0 ? 1 : 3) << "task " << id;
+  }
+  // Same-pool retries extend the primary pool's busy span.
+  EXPECT_GT(run.primary_pool_s(), run.primary.makespan_s);
+  EXPECT_EQ(run.alt_pool_s(), 0.0);
+}
+
+TEST(Executor, RetryReroutesToAltPool) {
+  const auto tasks = make_tasks(30);
+  SimulatedDataflowParams params;
+  params.workers = 5;
+  SimulatedDataflowParams alt = params;
+  alt.workers = 2;
+  SimulatedExecutor exec{params, alt};
+  EXPECT_EQ(exec.alt_workers(), 2);
+
+  const TaskFn fn = [](const TaskSpec& t, const TaskAttempt& at) {
+    TaskOutcome o;
+    // A third of the tasks OOM on the standard pool but always succeed
+    // on the alternate (high-memory) pool.
+    o.ok = at.alt_pool || t.id % 3 != 0;
+    o.sim_duration_s = at.alt_pool ? 4.0 : 1.0;
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.reroute_to_alt_pool = true;
+  const MapResult run = exec.map(tasks, fn, policy);
+
+  EXPECT_EQ(run.failed_tasks, 0);
+  EXPECT_EQ(run.rerouted_tasks, 10);
+  ASSERT_EQ(run.retries.size(), 1u);
+  EXPECT_TRUE(run.retries[0].alt_pool);
+  check_record_invariants(run.retries[0].run.records, 10);
+  // The alternate pool billed its own span; the stage wall covers both
+  // concurrent pools.
+  EXPECT_GT(run.alt_pool_s(), 0.0);
+  EXPECT_DOUBLE_EQ(run.primary_pool_s(), run.primary.makespan_s);
+  EXPECT_DOUBLE_EQ(run.wall_s(), std::max(run.primary_pool_s(), run.alt_pool_s()));
+}
+
+TEST(Executor, RetryCostScaleInflatesRetryDurations) {
+  const auto tasks = make_tasks(4);
+  SimulatedDataflowParams params;
+  params.workers = 4;
+  params.dispatch_overhead_s = 0.0;
+  params.startup_s = 0.0;
+  SimulatedExecutor exec{params};
+
+  const TaskFn fn = [](const TaskSpec& t, const TaskAttempt& at) {
+    TaskOutcome o;
+    o.ok = at.attempt >= 1;
+    o.sim_duration_s = static_cast<double>(t.id + 1);
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.retry_cost_scale = 2.0;
+  const MapResult run = exec.map(tasks, fn, policy);
+
+  EXPECT_EQ(run.failed_tasks, 0);
+  ASSERT_EQ(run.retries.size(), 1u);
+  // Every retried task ran at twice its base duration.
+  for (const auto& r : run.retries[0].run.records) {
+    EXPECT_DOUBLE_EQ(r.duration_s(), 2.0 * static_cast<double>(r.task_id + 1));
+  }
+}
+
+TEST(Executor, ThreadedRerouteRunsOnAltPool) {
+  const auto tasks = make_tasks(12);
+  ThreadedExecutor exec(4, 2);
+
+  std::atomic<int> alt_attempts{0};
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt& at) {
+    if (at.alt_pool) ++alt_attempts;
+    TaskOutcome o;
+    o.ok = at.alt_pool || t.id >= 6;
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.reroute_to_alt_pool = true;
+  const MapResult run = exec.map(tasks, fn, policy);
+
+  EXPECT_EQ(run.failed_tasks, 0);
+  EXPECT_EQ(run.rerouted_tasks, 6);
+  EXPECT_EQ(alt_attempts.load(), 6);
+  ASSERT_EQ(run.retries.size(), 1u);
+  check_record_invariants(run.retries[0].run.records, 6);
+}
+
+TEST(Executor, RetryRequeueFollowsCanonicalOrderThenPolicy) {
+  // Failed tasks are re-queued in task-id order and the policy's
+  // ordering applied, so a descending-cost stage retries long tasks
+  // first -- the invariant the high-memory rerun relies on.
+  auto tasks = make_tasks(16, 7);
+  apply_order(tasks, TaskOrder::kDescendingCost);
+  SimulatedDataflowParams params;
+  params.workers = 2;
+  SimulatedDataflowParams alt = params;
+  alt.workers = 1;
+  SimulatedExecutor exec{params, alt};
+
+  std::vector<std::uint64_t> retry_dispatch;
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt& at) {
+    if (at.attempt > 0) retry_dispatch.push_back(t.id);
+    TaskOutcome o;
+    o.ok = at.alt_pool;
+    o.sim_duration_s = t.cost_hint;
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.reroute_to_alt_pool = true;
+  policy.retry_order = TaskOrder::kDescendingCost;
+  exec.map(tasks, fn, policy);
+
+  ASSERT_EQ(retry_dispatch.size(), tasks.size());
+  std::map<std::uint64_t, double> cost_by_id;
+  for (const auto& t : tasks) cost_by_id[t.id] = t.cost_hint;
+  for (std::size_t i = 1; i < retry_dispatch.size(); ++i) {
+    EXPECT_GE(cost_by_id[retry_dispatch[i - 1]], cost_by_id[retry_dispatch[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace sf

@@ -1,0 +1,107 @@
+// Each stage driver is independently constructible: given a
+// StageContext it runs standalone on either backend, returning its
+// StageReport plus typed artifacts.
+#include <gtest/gtest.h>
+
+#include "core/stage_features.hpp"
+#include "core/stage_inference.hpp"
+#include "core/stage_relax.hpp"
+
+namespace sf {
+namespace {
+
+struct StageWorld {
+  FoldUniverse universe{40, 31};
+  std::vector<ProteinRecord> records;
+  PipelineConfig cfg;
+
+  StageWorld() {
+    records = ProteomeGenerator(universe, species_d_vulgaris(), 12).generate(40);
+    cfg.summit_nodes = 2;
+    cfg.andes_nodes = 4;
+    cfg.relax_nodes = 1;
+    cfg.db_replicas = 4;
+    cfg.jobs_per_replica = 2;
+    cfg.quality_sample = 12;
+    cfg.relax_sample = 4;
+  }
+};
+
+TEST(StageDrivers, FeatureStageStandalone) {
+  StageWorld w;
+  SimulatedExecutor exec = make_stage_executor(w.cfg, StageKind::kFeatures);
+  const FeatureStageResult res = FeatureStage().run({w.universe, w.cfg, w.records, exec});
+  ASSERT_EQ(res.features.size(), w.records.size());
+  for (std::size_t i = 0; i < res.features.size(); ++i) {
+    EXPECT_EQ(res.features[i].target_id, w.records[i].sequence.id());
+    EXPECT_GE(res.features[i].msa_depth, 0);
+  }
+  EXPECT_EQ(res.report.name, "features");
+  EXPECT_EQ(res.report.tasks, 40);
+  EXPECT_EQ(res.report.failed_tasks, 0);
+  EXPECT_GT(res.report.wall_s, 0.0);
+  EXPECT_GT(res.report.node_hours, 0.0);
+}
+
+TEST(StageDrivers, FeatureStageRunsOnEitherBackend) {
+  // The same driver on the threaded backend really computes the
+  // features, concurrently, with identical artifacts.
+  StageWorld w;
+  SimulatedExecutor sim = make_stage_executor(w.cfg, StageKind::kFeatures);
+  ThreadedExecutor threaded(4);
+  const FeatureStageResult a = FeatureStage().run({w.universe, w.cfg, w.records, sim});
+  const FeatureStageResult b = FeatureStage().run({w.universe, w.cfg, w.records, threaded});
+  ASSERT_EQ(a.features.size(), b.features.size());
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_EQ(a.features[i].msa_depth, b.features[i].msa_depth);
+    EXPECT_DOUBLE_EQ(a.features[i].neff, b.features[i].neff);
+    EXPECT_EQ(a.features[i].has_templates, b.features[i].has_templates);
+  }
+  EXPECT_EQ(b.report.failed_tasks, 0);
+}
+
+TEST(StageDrivers, InferenceStageStandalone) {
+  StageWorld w;
+  SimulatedExecutor feat_exec = make_stage_executor(w.cfg, StageKind::kFeatures);
+  const FeatureStageResult feats = FeatureStage().run({w.universe, w.cfg, w.records, feat_exec});
+
+  SimulatedExecutor exec = make_stage_executor(w.cfg, StageKind::kInference);
+  const InferenceStageResult res =
+      InferenceStage().run({w.universe, w.cfg, w.records, exec}, feats.features);
+  EXPECT_EQ(res.report.name, "inference");
+  EXPECT_EQ(res.report.tasks, 40 * 5);
+  EXPECT_EQ(res.targets.size(), 40u);
+  EXPECT_EQ(res.task_records.size(), 200u);
+  EXPECT_EQ(res.plddt.count(), 12u);  // quality sample
+  EXPECT_EQ(res.kept_for_relax.size(), 4u);
+  int measured = 0;
+  for (const auto& t : res.targets) measured += t.measured ? 1 : 0;
+  EXPECT_EQ(measured, 12);
+}
+
+TEST(StageDrivers, RelaxStageStandalone) {
+  StageWorld w;
+  SimulatedExecutor feat_exec = make_stage_executor(w.cfg, StageKind::kFeatures);
+  const FeatureStageResult feats = FeatureStage().run({w.universe, w.cfg, w.records, feat_exec});
+  SimulatedExecutor inf_exec = make_stage_executor(w.cfg, StageKind::kInference);
+  InferenceStageResult inf =
+      InferenceStage().run({w.universe, w.cfg, w.records, inf_exec}, feats.features);
+
+  SimulatedExecutor exec = make_stage_executor(w.cfg, StageKind::kRelaxation);
+  const RelaxStageResult res = RelaxStage().run({w.universe, w.cfg, w.records, exec},
+                                                inf.kept_for_relax, inf.targets);
+  EXPECT_EQ(res.report.name, "relaxation");
+  EXPECT_EQ(res.report.tasks, 40);  // no OOM drops in this world
+  EXPECT_EQ(res.report.failed_tasks, 0);
+  EXPECT_GT(res.report.wall_s, 0.0);
+  int relaxed = 0;
+  for (const auto& t : inf.targets) {
+    if (!t.relaxed) continue;
+    ++relaxed;
+    EXPECT_EQ(t.clashes_after, 0u);
+  }
+  EXPECT_EQ(relaxed, 4);  // relax_sample
+}
+
+}  // namespace
+}  // namespace sf
