@@ -1,0 +1,378 @@
+#include "core/journal.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+namespace {
+
+// %.17g round-trips every finite double exactly, so a restored report
+// is bit-identical to the recorded one.
+std::string num(double v) { return format("%.17g", v); }
+
+std::uint64_t hash_double(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+const char* stage_token(StageKind stage) {
+  switch (stage) {
+    case StageKind::kFeatures: return "features";
+    case StageKind::kInference: return "inference";
+    case StageKind::kRelaxation: return "relaxation";
+  }
+  return "?";
+}
+
+bool stage_from_token(const std::string& token, StageKind& out) {
+  if (token == "features") out = StageKind::kFeatures;
+  else if (token == "inference") out = StageKind::kInference;
+  else if (token == "relaxation") out = StageKind::kRelaxation;
+  else return false;
+  return true;
+}
+
+// Journal names must be single tokens; task names ("dv_00042/model3")
+// already are, but never let a stray space tear the line format.
+std::string sanitize_token(const std::string& s) {
+  std::string out = s.empty() ? std::string("?") : s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
+  tokens.clear();
+  std::istringstream ss(line);
+  std::string t;
+  while (ss >> t) tokens.push_back(std::move(t));
+  // Every valid journal line is sealed with an `end` token; a torn
+  // write (kill mid-line) fails this check and invalidates the tail.
+  return tokens.size() >= 2 && tokens.back() == "end";
+}
+
+bool to_u64(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(s, &pos, 16);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool to_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool to_int(const std::string& s, int& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoi(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool to_size(const std::string& s, std::size_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = static_cast<std::size_t>(std::stoull(s, &pos));
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string report_fields(const StageReport& r) {
+  std::ostringstream ss;
+  ss << num(r.wall_s) << ' ' << num(r.node_hours) << ' ' << r.nodes << ' ' << r.tasks << ' '
+     << r.failed_tasks << ' ' << r.retry_attempts << ' ' << r.rerouted_tasks << ' '
+     << num(r.mean_utilization) << ' ' << num(r.finish_spread_s) << ' '
+     << r.faults.crash_attempts << ' ' << r.faults.transient_attempts << ' '
+     << r.faults.oom_attempts << ' ' << r.faults.intrinsic_failures << ' '
+     << r.faults.straggler_attempts << ' ' << r.faults.stalled_attempts << ' '
+     << r.faults.workers_lost << ' ' << num(r.faults.lost_work_s) << ' '
+     << num(r.faults.straggler_delay_s) << ' ' << num(r.faults.stall_delay_s) << ' '
+     << num(r.faults.backoff_delay_s);
+  return ss.str();
+}
+
+// Parses the 20 report fields starting at tokens[at]; false on any
+// malformed field.
+bool parse_report(const std::vector<std::string>& tokens, std::size_t at, StageReport& r) {
+  if (tokens.size() < at + 20) return false;
+  return to_double(tokens[at + 0], r.wall_s) && to_double(tokens[at + 1], r.node_hours) &&
+         to_int(tokens[at + 2], r.nodes) && to_int(tokens[at + 3], r.tasks) &&
+         to_int(tokens[at + 4], r.failed_tasks) && to_int(tokens[at + 5], r.retry_attempts) &&
+         to_int(tokens[at + 6], r.rerouted_tasks) &&
+         to_double(tokens[at + 7], r.mean_utilization) &&
+         to_double(tokens[at + 8], r.finish_spread_s) &&
+         to_int(tokens[at + 9], r.faults.crash_attempts) &&
+         to_int(tokens[at + 10], r.faults.transient_attempts) &&
+         to_int(tokens[at + 11], r.faults.oom_attempts) &&
+         to_int(tokens[at + 12], r.faults.intrinsic_failures) &&
+         to_int(tokens[at + 13], r.faults.straggler_attempts) &&
+         to_int(tokens[at + 14], r.faults.stalled_attempts) &&
+         to_int(tokens[at + 15], r.faults.workers_lost) &&
+         to_double(tokens[at + 16], r.faults.lost_work_s) &&
+         to_double(tokens[at + 17], r.faults.straggler_delay_s) &&
+         to_double(tokens[at + 18], r.faults.stall_delay_s) &&
+         to_double(tokens[at + 19], r.faults.backoff_delay_s);
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {}
+
+bool CampaignJournal::parse_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  if (!tokenize(line, tokens)) return false;
+  const std::string& kind = tokens.front();
+
+  if (kind == "measured") {
+    // measured <idx> <top> <plddt> <ptms> <tm> <lddt> <recycles> <conv>
+    //          <dropped> <p0..p4> <oom_mask> <conv_mask> end
+    if (tokens.size() != 18) return false;
+    JournalMeasuredRow row;
+    int conv = 0, dropped = 0;
+    std::size_t om = 0, cm = 0;
+    if (!to_size(tokens[1], row.index) || !to_int(tokens[2], row.top_model) ||
+        !to_double(tokens[3], row.plddt) || !to_double(tokens[4], row.ptms) ||
+        !to_double(tokens[5], row.true_tm) || !to_double(tokens[6], row.true_lddt) ||
+        !to_int(tokens[7], row.recycles) || !to_int(tokens[8], conv) ||
+        !to_int(tokens[9], dropped)) {
+      return false;
+    }
+    for (int m = 0; m < 5; ++m) {
+      if (!to_int(tokens[10 + static_cast<std::size_t>(m)], row.passes[m])) return false;
+    }
+    if (!to_size(tokens[15], om) || !to_size(tokens[16], cm)) return false;
+    row.converged = conv != 0;
+    row.dropped = dropped != 0;
+    row.oom_mask = static_cast<unsigned>(om);
+    row.conv_mask = static_cast<unsigned>(cm);
+    if (measured_by_index_.count(row.index)) return true;  // keep first
+    measured_by_index_[row.index] = measured_.size();
+    measured_.push_back(row);
+    return true;
+  }
+  if (kind == "trec") {
+    // trec <task_id> <name> <worker> <start_s> <end_s> end
+    if (tokens.size() != 7) return false;
+    TaskRecord r;
+    std::uint64_t id = 0;
+    try {
+      std::size_t pos = 0;
+      id = std::stoull(tokens[1], &pos);
+      if (pos != tokens[1].size()) return false;
+    } catch (...) {
+      return false;
+    }
+    r.task_id = id;
+    r.name = tokens[2];
+    if (!to_int(tokens[3], r.worker) || !to_double(tokens[4], r.start_s) ||
+        !to_double(tokens[5], r.end_s)) {
+      return false;
+    }
+    task_records_.push_back(std::move(r));
+    return true;
+  }
+  if (kind == "relaxed") {
+    // relaxed <idx> <cb> <ca> <bb> <ba> <atoms> <evals> end
+    if (tokens.size() != 9) return false;
+    JournalRelaxRow row;
+    if (!to_size(tokens[1], row.index) || !to_size(tokens[2], row.clashes_before) ||
+        !to_size(tokens[3], row.clashes_after) || !to_size(tokens[4], row.bumps_before) ||
+        !to_size(tokens[5], row.bumps_after) || !to_double(tokens[6], row.heavy_atoms) ||
+        !to_double(tokens[7], row.energy_evaluations)) {
+      return false;
+    }
+    if (relaxed_by_index_.count(row.index)) return true;  // keep first
+    relaxed_by_index_[row.index] = relaxed_.size();
+    relaxed_.push_back(row);
+    return true;
+  }
+  if (kind == "stage") {
+    // stage <kind> <20 report fields> end
+    if (tokens.size() != 23) return false;
+    StageKind stage;
+    if (!stage_from_token(tokens[1], stage)) return false;
+    StageReport report;
+    report.name = tokens[1];
+    if (!parse_report(tokens, 2, report)) return false;
+    reports_[static_cast<int>(stage)] = std::move(report);
+    return true;
+  }
+  return false;  // unknown entry: treat as torn tail
+}
+
+bool CampaignJournal::open(std::uint64_t fingerprint) {
+  fingerprint_ = fingerprint;
+  opened_ = true;
+  measured_.clear();
+  measured_by_index_.clear();
+  relaxed_.clear();
+  relaxed_by_index_.clear();
+  task_records_.clear();
+  for (auto& r : reports_) r.reset();
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (in && std::getline(in, line)) lines.push_back(line);
+  }
+
+  bool valid_header = false;
+  std::size_t good = 0;
+  if (!lines.empty()) {
+    std::vector<std::string> tokens;
+    if (tokenize(lines[0], tokens) && tokens.size() == 4 && tokens[0] == "sfjournal" &&
+        tokens[1] == "v1") {
+      std::uint64_t fp = 0;
+      valid_header = to_u64(tokens[2], fp) && fp == fingerprint;
+    }
+  }
+  if (valid_header) {
+    good = 1;
+    while (good < lines.size() && parse_line(lines[good])) ++good;
+  }
+
+  // Task-record lines are only trustworthy once their stage is sealed:
+  // a kill between trec writes would otherwise leave a partial timeline
+  // that a resumed run would double-append.
+  const bool drop_trecs = !stage_complete(StageKind::kInference) && !task_records_.empty();
+  if (drop_trecs) task_records_.clear();
+
+  const bool rewrite = !valid_header || good < lines.size() || drop_trecs;
+  if (rewrite) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << "sfjournal v1 " << format("%llx", static_cast<unsigned long long>(fingerprint))
+        << " end\n";
+    if (valid_header) {
+      for (std::size_t i = 1; i < good; ++i) {
+        if (drop_trecs && lines[i].rfind("trec ", 0) == 0) continue;
+        out << lines[i] << '\n';
+      }
+    }
+  }
+  return valid_header && (!measured_.empty() || !relaxed_.empty() ||
+                          reports_[0] || reports_[1] || reports_[2]);
+}
+
+void CampaignJournal::append_line(const std::string& line) {
+  std::ofstream out(path_, std::ios::app);
+  out << line << '\n';
+  out.flush();
+}
+
+void CampaignJournal::record_measured(const JournalMeasuredRow& row) {
+  if (measured_by_index_.count(row.index)) return;
+  std::ostringstream ss;
+  ss << "measured " << row.index << ' ' << row.top_model << ' ' << num(row.plddt) << ' '
+     << num(row.ptms) << ' ' << num(row.true_tm) << ' ' << num(row.true_lddt) << ' '
+     << row.recycles << ' ' << (row.converged ? 1 : 0) << ' ' << (row.dropped ? 1 : 0);
+  for (int m = 0; m < 5; ++m) ss << ' ' << row.passes[m];
+  ss << ' ' << row.oom_mask << ' ' << row.conv_mask << " end";
+  append_line(ss.str());
+  measured_by_index_[row.index] = measured_.size();
+  measured_.push_back(row);
+}
+
+void CampaignJournal::record_task_records(const std::vector<TaskRecord>& records) {
+  std::ofstream out(path_, std::ios::app);
+  for (const auto& r : records) {
+    out << "trec " << r.task_id << ' ' << sanitize_token(r.name) << ' ' << r.worker << ' '
+        << num(r.start_s) << ' ' << num(r.end_s) << " end\n";
+  }
+  out.flush();
+  task_records_ = records;
+}
+
+void CampaignJournal::record_relaxed(const JournalRelaxRow& row) {
+  if (relaxed_by_index_.count(row.index)) return;
+  std::ostringstream ss;
+  ss << "relaxed " << row.index << ' ' << row.clashes_before << ' ' << row.clashes_after << ' '
+     << row.bumps_before << ' ' << row.bumps_after << ' ' << num(row.heavy_atoms) << ' '
+     << num(row.energy_evaluations) << " end";
+  append_line(ss.str());
+  relaxed_by_index_[row.index] = relaxed_.size();
+  relaxed_.push_back(row);
+}
+
+void CampaignJournal::record_stage_complete(StageKind stage, const StageReport& report) {
+  append_line(std::string("stage ") + stage_token(stage) + ' ' + report_fields(report) + " end");
+  StageReport copy = report;
+  reports_[static_cast<int>(stage)] = std::move(copy);
+}
+
+bool CampaignJournal::stage_complete(StageKind stage) const {
+  return reports_[static_cast<int>(stage)].has_value();
+}
+
+const StageReport* CampaignJournal::stage_report(StageKind stage) const {
+  const auto& r = reports_[static_cast<int>(stage)];
+  return r ? &*r : nullptr;
+}
+
+const JournalMeasuredRow* CampaignJournal::measured_row(std::size_t index) const {
+  const auto it = measured_by_index_.find(index);
+  return it == measured_by_index_.end() ? nullptr : &measured_[it->second];
+}
+
+const JournalRelaxRow* CampaignJournal::relax_row(std::size_t index) const {
+  const auto it = relaxed_by_index_.find(index);
+  return it == relaxed_by_index_.end() ? nullptr : &relaxed_[it->second];
+}
+
+std::uint64_t campaign_fingerprint(const PipelineConfig& cfg,
+                                   const std::vector<ProteinRecord>& records) {
+  std::uint64_t h = stable_hash64("sf-campaign-v1");
+  h = mix64(h, stable_hash64(cfg.preset.name));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.library));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.summit_nodes));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.andes_nodes));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.relax_nodes));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.db_replicas));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.jobs_per_replica));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.order));
+  h = mix64(h, cfg.use_highmem_for_oom ? 1u : 0u);
+  h = mix64(h, static_cast<std::uint64_t>(cfg.highmem_nodes));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.quality_sample));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.relax_sample));
+  h = mix64(h, cfg.seed);
+  // The fault schedule is part of campaign identity: resuming under a
+  // different plan would splice incompatible runs together.
+  h = mix64(h, cfg.faults.seed);
+  h = mix64(h, hash_double(cfg.faults.crash_rate));
+  h = mix64(h, hash_double(cfg.faults.transient_rate));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.faults.transient_attempts));
+  h = mix64(h, hash_double(cfg.faults.oom_rate));
+  h = mix64(h, hash_double(cfg.faults.straggler_rate));
+  h = mix64(h, hash_double(cfg.faults.straggler_factor));
+  h = mix64(h, hash_double(cfg.faults.fs_stall_rate));
+  h = mix64(h, static_cast<std::uint64_t>(records.size()));
+  for (const auto& rec : records) {
+    h = mix64(h, stable_hash64(rec.sequence.id()));
+    h = mix64(h, rec.record_seed);
+    h = mix64(h, static_cast<std::uint64_t>(rec.length()));
+    h = mix64(h, hash_double(rec.hardness));
+  }
+  return h;
+}
+
+}  // namespace sf

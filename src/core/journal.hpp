@@ -1,0 +1,119 @@
+// Campaign checkpoint journal: kill-safe per-target progress tracking.
+//
+// A proteome campaign burns thousands of node-hours (§4.3); an
+// interrupted run must not recompute finished work, and a resumed run
+// must produce a CampaignReport *identical* to an uninterrupted one.
+// The journal is an append-only text file: stages stream per-target
+// completion rows as they finish (measured inference results, relax
+// outcomes), then seal themselves with a stage line carrying the full
+// StageReport. Every line ends with an `end` token, so a kill mid-write
+// leaves a torn tail that the loader detects and discards -- the
+// journal is valid at every byte prefix.
+//
+// Restore contract (relied on by tests/test_chaos_campaign.cpp):
+//   * a sealed stage is replayed from the journal without touching the
+//     executor (no double billing, byte-identical report);
+//   * an unsealed stage reuses its journaled per-target rows and
+//     computes only the remainder;
+//   * values round-trip exactly (%.17g doubles), so the resumed
+//     CampaignReport equals the uninterrupted one bit for bit.
+//
+// Artifacts that downstream stages need but that are too heavy to
+// journal (input features, kept top-model structures) are *recomputed
+// deterministically* on restore -- every generator in the pipeline is
+// keyed by per-record seeds, so recomputation cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stage_context.hpp"
+#include "dataflow/task.hpp"
+
+namespace sf {
+
+// One measured inference target: everything the stage needs to rebuild
+// its TargetResult, its per-model pass counts (task pricing), and the
+// recycle-model observations -- without rerunning the engine.
+struct JournalMeasuredRow {
+  std::size_t index = 0;  // record index
+  int top_model = 0;      // 1..5; 0 when the target dropped (all OOM)
+  double plddt = 0.0;
+  double ptms = 0.0;
+  double true_tm = 0.0;
+  double true_lddt = 0.0;
+  int recycles = 0;
+  bool converged = false;
+  bool dropped = false;     // every model OOMed
+  int passes[5] = {0, 0, 0, 0, 0};
+  unsigned oom_mask = 0;    // bit m: model m hit the memory wall
+  unsigned conv_mask = 0;   // bit m: model m stopped by tolerance
+};
+
+// One measured relaxation: the per-target outcome plus the calibration
+// samples (heavy atoms, energy evaluations) feeding the stage's linear
+// cost fit.
+struct JournalRelaxRow {
+  std::size_t index = 0;
+  std::size_t clashes_before = 0;
+  std::size_t clashes_after = 0;
+  std::size_t bumps_before = 0;
+  std::size_t bumps_after = 0;
+  double heavy_atoms = 0.0;
+  double energy_evaluations = 0.0;
+};
+
+class CampaignJournal {
+ public:
+  explicit CampaignJournal(std::string path);
+
+  // Load any prior progress for the campaign identified by
+  // `fingerprint`. A missing file starts fresh; a fingerprint mismatch
+  // or a torn tail keeps only the valid prefix (the file is rewritten
+  // to that prefix). Returns true when prior progress was recovered.
+  bool open(std::uint64_t fingerprint);
+
+  // -- write side (each entry is appended and flushed immediately) --
+  void record_measured(const JournalMeasuredRow& row);
+  void record_task_records(const std::vector<TaskRecord>& records);
+  void record_relaxed(const JournalRelaxRow& row);
+  // Seals `stage`: marks it complete with its final report.
+  void record_stage_complete(StageKind stage, const StageReport& report);
+
+  // -- read side --
+  bool stage_complete(StageKind stage) const;
+  const StageReport* stage_report(StageKind stage) const;
+  const JournalMeasuredRow* measured_row(std::size_t index) const;
+  const JournalRelaxRow* relax_row(std::size_t index) const;
+  std::size_t measured_count() const { return measured_.size(); }
+  const std::vector<TaskRecord>& inference_task_records() const { return task_records_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void append_line(const std::string& line);
+  bool parse_line(const std::string& line);
+
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+  bool opened_ = false;
+
+  std::vector<JournalMeasuredRow> measured_;
+  std::unordered_map<std::size_t, std::size_t> measured_by_index_;
+  std::vector<JournalRelaxRow> relaxed_;
+  std::unordered_map<std::size_t, std::size_t> relaxed_by_index_;
+  std::vector<TaskRecord> task_records_;
+  std::optional<StageReport> reports_[3];  // indexed by StageKind
+};
+
+// Stable identity of a campaign: configuration knobs that change any
+// reported number, plus the record list. A journal written under a
+// different fingerprint is ignored on open (fresh start), so a stale
+// journal can never leak rows into a different campaign.
+std::uint64_t campaign_fingerprint(const PipelineConfig& cfg,
+                                   const std::vector<ProteinRecord>& records);
+
+}  // namespace sf

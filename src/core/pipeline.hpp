@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/stage_context.hpp"
 #include "core/stage_features.hpp"
 #include "core/stage_inference.hpp"
@@ -58,8 +59,12 @@ class Pipeline {
   const PipelineConfig& config() const { return config_; }
 
   // Run the full three-stage campaign over `records` on per-stage
-  // simulated executors (the paper's deployment shape).
-  CampaignReport run(const std::vector<ProteinRecord>& records) const;
+  // simulated executors (the paper's deployment shape). With a journal,
+  // progress checkpoints as it happens and a rerun resumes from the
+  // journal's valid prefix, producing a report identical to an
+  // uninterrupted run (see core/journal.hpp for the contract).
+  CampaignReport run(const std::vector<ProteinRecord>& records,
+                     CampaignJournal* journal = nullptr) const;
 
  private:
   const FoldUniverse* universe_;

@@ -14,6 +14,16 @@ void print_stage(std::ostream& out, const StageReport& stage) {
     out << format(" util %.1f%% finish-spread %s", 100.0 * stage.mean_utilization,
                   human_duration(stage.finish_spread_s).c_str());
   }
+  // Fault attribution prints only when a fault plan actually fired, so
+  // fault-free campaigns keep their historical byte-exact output.
+  if (stage.faults.injected_failures() > 0 || stage.faults.straggler_attempts > 0 ||
+      stage.faults.stalled_attempts > 0) {
+    out << format(" faults[crash %d transient %d oom %d straggle %d stall %d lost %s]",
+                  stage.faults.crash_attempts, stage.faults.transient_attempts,
+                  stage.faults.oom_attempts, stage.faults.straggler_attempts,
+                  stage.faults.stalled_attempts,
+                  human_duration(stage.faults.lost_work_s).c_str());
+  }
   out << '\n';
 }
 
@@ -39,6 +49,23 @@ void print_campaign(std::ostream& out, const CampaignReport& report,
   if (oom > 0) out << format("    dropped (out-of-memory) targets: %d\n", oom);
   out << format("  totals: %.0f Summit node-hours, %.0f Andes node-hours\n",
                 report.total_summit_node_hours(), report.total_andes_node_hours());
+}
+
+void write_stage_csv(std::ostream& out, const CampaignReport& report) {
+  out << "stage,wall_s,node_hours,nodes,tasks,failed_tasks,retry_attempts,rerouted_tasks,"
+         "crash_attempts,transient_attempts,oom_attempts,intrinsic_failures,"
+         "straggler_attempts,stalled_attempts,workers_lost,"
+         "lost_work_s,straggler_delay_s,stall_delay_s,backoff_delay_s\n";
+  const StageReport* stages[3] = {&report.features, &report.inference, &report.relaxation};
+  for (const StageReport* s : stages) {
+    const FaultAccounting& f = s->faults;
+    out << format("%s,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+                  s->name.c_str(), s->wall_s, s->node_hours, s->nodes, s->tasks, s->failed_tasks,
+                  s->retry_attempts, s->rerouted_tasks, f.crash_attempts, f.transient_attempts,
+                  f.oom_attempts, f.intrinsic_failures, f.straggler_attempts, f.stalled_attempts,
+                  f.workers_lost, f.lost_work_s, f.straggler_delay_s, f.stall_delay_s,
+                  f.backoff_delay_s);
+  }
 }
 
 }  // namespace sf

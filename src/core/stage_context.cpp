@@ -48,9 +48,25 @@ StageReport stage_report_from(const std::string& name, const MapResult& run, int
   st.nodes = nodes;
   st.tasks = tasks;
   st.failed_tasks = run.failed_tasks;
+  st.retry_attempts = run.retry_attempts;
+  st.rerouted_tasks = run.rerouted_tasks;
   st.mean_utilization = run.primary.mean_utilization();
   st.finish_spread_s = run.primary.finish_spread_s();
+  st.faults = run.faults;
   return st;
+}
+
+std::uint64_t stage_fault_stream(StageKind stage) {
+  switch (stage) {
+    case StageKind::kFeatures: return 0xFEA70001ULL;
+    case StageKind::kInference: return 0x1FE20002ULL;
+    case StageKind::kRelaxation: return 0xE1A30003ULL;
+  }
+  return 0;
+}
+
+FaultInjector stage_fault_injector(const PipelineConfig& cfg, StageKind stage) {
+  return FaultInjector(cfg.faults, stage_fault_stream(stage));
 }
 
 }  // namespace sf

@@ -28,6 +28,8 @@
 
 namespace sf {
 
+class CampaignJournal;  // core/journal.hpp
+
 struct PipelineConfig {
   PresetConfig preset = preset_genome();
   LibraryKind library = LibraryKind::kReduced;
@@ -53,6 +55,12 @@ struct PipelineConfig {
 
   std::uint64_t seed = 7;
 
+  // Deterministic fault schedule injected into every stage's executor
+  // map (disabled by default: all rates zero). Each stage decorrelates
+  // the plan with its own stream, so "task 3 crashes" in features is
+  // independent of task 3 in inference.
+  FaultPlan faults;
+
   EngineParams engine;
   InferenceCostModel inference_cost;
   FeatureCostModel feature_cost;
@@ -68,9 +76,15 @@ struct StageReport {
   double node_hours = 0.0;
   int nodes = 0;
   int tasks = 0;
-  int failed_tasks = 0;
+  int failed_tasks = 0;    // tasks that exhausted every attempt
+  int retry_attempts = 0;  // task attempts beyond the first
+  int rerouted_tasks = 0;  // attempts run on the alternate pool
   double mean_utilization = 0.0;
   double finish_spread_s = 0.0;
+  // Per-failure-kind attribution of lost time (dataflow/fault.hpp): how
+  // many attempts each fault class burned and the modeled seconds it
+  // cost, so campaign CSVs reconcile against the injected schedule.
+  FaultAccounting faults;
 };
 
 // Per-target outcome for quality-measured targets.
@@ -104,10 +118,21 @@ struct StageContext {
   const PipelineConfig& config;
   const std::vector<ProteinRecord>& records;
   Executor& executor;
+  // Optional checkpoint journal (core/journal.hpp): stages record
+  // per-target completion and their final reports so an interrupted
+  // campaign resumes without recomputing finished work.
+  CampaignJournal* journal = nullptr;
 
   // Deterministic per-stage RNG stream derived from the campaign seed.
   Rng stage_rng(std::uint64_t stream) const { return Rng(config.seed, stream); }
 };
+
+// Per-stage decorrelation streams for the shared campaign FaultPlan.
+std::uint64_t stage_fault_stream(StageKind stage);
+
+// The stage's fault injector, or an inactive one when the campaign's
+// plan is disabled (map() treats it as absent).
+FaultInjector stage_fault_injector(const PipelineConfig& cfg, StageKind stage);
 
 // Allocated-node count a stage's executor is built from (and billed
 // against): one search job per Andes node for features, 6 GPU workers

@@ -1,5 +1,7 @@
 #include "core/stage_features.hpp"
 
+#include "core/journal.hpp"
+
 namespace sf {
 
 FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
@@ -9,6 +11,19 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
 
   FeatureStageResult out;
   out.features.resize(n);
+
+  // A sealed stage replays from the journal: the executor is never
+  // touched (no double billing), and the features themselves -- too
+  // heavy to journal -- are recomputed from per-record seeds, which
+  // cannot drift from the original run.
+  CampaignJournal* journal = ctx.journal;
+  if (journal && journal->stage_complete(StageKind::kFeatures)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.features[i] = sample_features(records[i], cfg.library);
+    }
+    out.report = *journal->stage_report(StageKind::kFeatures);
+    return out;
+  }
 
   std::vector<TaskSpec> tasks(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -28,9 +43,21 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
     return o;
   };
 
-  const MapResult run = ctx.executor.map(tasks, fn);
+  // Feature tasks are pure recomputation; under an active fault plan
+  // they retry on the same pool until the schedule lets them through.
+  RetryPolicy retry;
+  retry.retry_order = cfg.order;
+  retry.seed = cfg.seed;
+  const FaultInjector injector = stage_fault_injector(cfg, StageKind::kFeatures);
+  if (injector.active()) {
+    retry.max_attempts = 4;
+    retry.backoff_base_s = 5.0;
+  }
+
+  const MapResult run = ctx.executor.map(tasks, fn, retry, &injector);
   out.report = stage_report_from("features", run, stage_nodes(cfg, StageKind::kFeatures),
                                  static_cast<int>(n));
+  if (journal) journal->record_stage_complete(StageKind::kFeatures, out.report);
   return out;
 }
 

@@ -3,17 +3,43 @@
 #include <algorithm>
 #include <array>
 
+#include "core/journal.hpp"
 #include "core/recycle_model.hpp"
 #include "fold/memory_model.hpp"
 #include "util/string_util.hpp"
 
 namespace sf {
+namespace {
+
+JournalMeasuredRow make_measured_row(std::size_t index, const TargetResult& tr,
+                                     const std::array<int, 5>& passes,
+                                     const std::array<bool, 5>& oom, unsigned conv_mask) {
+  JournalMeasuredRow row;
+  row.index = index;
+  row.top_model = tr.top_model;
+  row.plddt = tr.plddt;
+  row.ptms = tr.ptms;
+  row.true_tm = tr.true_tm;
+  row.true_lddt = tr.true_lddt;
+  row.recycles = tr.recycles;
+  row.converged = tr.converged;
+  row.dropped = tr.oom;
+  for (int m = 0; m < 5; ++m) {
+    row.passes[m] = passes[static_cast<std::size_t>(m)];
+    if (oom[static_cast<std::size_t>(m)]) row.oom_mask |= 1u << m;
+  }
+  row.conv_mask = conv_mask;
+  return row;
+}
+
+}  // namespace
 
 InferenceStageResult InferenceStage::run(const StageContext& ctx,
                                          const std::vector<InputFeatures>& features) const {
   const PipelineConfig& cfg = ctx.config;
   const std::vector<ProteinRecord>& records = ctx.records;
   const std::size_t n = records.size();
+  CampaignJournal* journal = ctx.journal;
 
   InferenceStageResult out;
   out.targets.resize(n);
@@ -43,6 +69,12 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       std::min<std::size_t>(measured_count, static_cast<std::size_t>(
                                                 std::max(0, cfg.relax_sample)));
   out.kept_for_relax.reserve(relax_measured_target);
+  // Kept structures only matter while the relaxation stage still has to
+  // run; once it is sealed in the journal, journaled targets restore
+  // without touching the engine at all.
+  const bool need_kept_structures =
+      !(journal && journal->stage_complete(StageKind::kRelaxation));
+  std::size_t kept_count = 0;  // mirrors the original run's kept quota
 
   for (std::size_t k = 0; k < measured_count; ++k) {
     const std::size_t i = index[k];
@@ -53,7 +85,40 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     tr.hardness = rec.hardness;
     tr.measured = true;
 
+    const JournalMeasuredRow* row = journal ? journal->measured_row(i) : nullptr;
+    const bool would_keep = row != nullptr && !row->dropped && kept_count < relax_measured_target;
+    if (row != nullptr && !(would_keep && need_kept_structures)) {
+      // Checkpointed target: replay the journal row instead of running
+      // the engine -- per-model passes, recycle-model observations, and
+      // quality samples all restore in the original order.
+      for (std::size_t m = 0; m < 5; ++m) {
+        const bool model_oom = (row->oom_mask >> m) & 1u;
+        oom[i][m] = model_oom;
+        passes[i][m] = row->passes[m];
+        if (model_oom) continue;
+        recycle_model.observe(rec.hardness, rec.length(), row->passes[m] - 1,
+                              ((row->conv_mask >> m) & 1u) != 0);
+      }
+      if (row->dropped) {
+        tr.oom = true;
+        continue;
+      }
+      tr.top_model = row->top_model;
+      tr.plddt = row->plddt;
+      tr.ptms = row->ptms;
+      tr.true_tm = row->true_tm;
+      tr.true_lddt = row->true_lddt;
+      tr.recycles = row->recycles;
+      tr.converged = row->converged;
+      out.plddt.add(row->plddt);
+      out.ptms.add(row->ptms);
+      out.recycles.add(row->recycles);
+      if (would_keep) ++kept_count;
+      continue;
+    }
+
     const auto preds = engine.predict_all_models(rec, features[i], cfg.preset);
+    unsigned conv_mask = 0;
     for (std::size_t m = 0; m < preds.size(); ++m) {
       oom[i][m] = preds[m].out_of_memory;
       if (preds[m].out_of_memory) {
@@ -61,12 +126,14 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
         continue;
       }
       passes[i][m] = preds[m].trace.recycles_run + 1;
+      if (preds[m].trace.converged) conv_mask |= 1u << m;
       recycle_model.observe(rec.hardness, rec.length(), preds[m].trace.recycles_run,
                             preds[m].trace.converged);
     }
     const int top = top_model_index(preds);
     if (top < 0) {
       tr.oom = true;
+      if (journal) journal->record_measured(make_measured_row(i, tr, passes[i], oom[i], conv_mask));
       continue;
     }
     const Prediction& best = preds[static_cast<std::size_t>(top)];
@@ -80,9 +147,11 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     out.plddt.add(best.plddt);
     out.ptms.add(best.ptms);
     out.recycles.add(best.trace.recycles_run);
-    if (out.kept_for_relax.size() < relax_measured_target) {
+    if (kept_count < relax_measured_target) {
+      ++kept_count;
       out.kept_for_relax.push_back({i, best.structure});
     }
+    if (journal) journal->record_measured(make_measured_row(i, tr, passes[i], oom[i], conv_mask));
   }
 
   // Unmeasured targets: recycle counts from the measured empirical
@@ -114,6 +183,14 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       }
     }
     tr.oom = !any_ok;
+  }
+
+  // A sealed inference stage restores its dataflow artifacts verbatim;
+  // the map() below never re-runs, so node-hours are billed once.
+  if (journal && journal->stage_complete(StageKind::kInference)) {
+    out.report = *journal->stage_report(StageKind::kInference);
+    out.task_records = journal->inference_task_records();
+    return out;
   }
 
   // One task per (target, model), sorted by length descending (the
@@ -162,14 +239,25 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     retry.max_attempts = 2;
     retry.reroute_to_alt_pool = true;
   }
+  const FaultInjector injector = stage_fault_injector(cfg, StageKind::kInference);
+  if (injector.active()) {
+    // Give the schedule's transients room to clear, with backoff; the
+    // reroute decision still belongs to the OOM policy above.
+    retry.max_attempts = std::max(retry.max_attempts, cfg.faults.transient_attempts + 2);
+    retry.backoff_base_s = 30.0;
+  }
 
-  MapResult run = ctx.executor.map(tasks, fn, retry);
+  MapResult run = ctx.executor.map(tasks, fn, retry, &injector);
   out.report = stage_report_from("inference", run, stage_nodes(cfg, StageKind::kInference),
                                  static_cast<int>(tasks.size()));
   // High-memory reruns bill additional node-hours against their own
   // (smaller) node count; the stage wall already spans both pools.
   out.report.node_hours += node_hours(cfg.highmem_nodes, run.alt_pool_s());
   out.task_records = std::move(run.primary.records);
+  if (journal) {
+    journal->record_task_records(out.task_records);
+    journal->record_stage_complete(StageKind::kInference, out.report);
+  }
   return out;
 }
 

@@ -3,21 +3,53 @@
 #include <algorithm>
 
 #include "bio/amino_acid.hpp"
+#include "core/journal.hpp"
 
 namespace sf {
+namespace {
+
+void apply_relax_row(const JournalRelaxRow& row, TargetResult& tr) {
+  tr.relaxed = true;
+  tr.clashes_before = row.clashes_before;
+  tr.clashes_after = row.clashes_after;
+  tr.bumps_before = row.bumps_before;
+  tr.bumps_after = row.bumps_after;
+}
+
+}  // namespace
 
 RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<KeptModel>& kept,
                                  std::vector<TargetResult>& targets) const {
   const PipelineConfig& cfg = ctx.config;
   const std::vector<ProteinRecord>& records = ctx.records;
   const std::size_t n = records.size();
+  CampaignJournal* journal = ctx.journal;
+
+  // A sealed stage replays entirely from the journal: per-target relax
+  // outcomes plus the final report, no executor and no minimizer.
+  if (journal && journal->stage_complete(StageKind::kRelaxation)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const JournalRelaxRow* row = journal->relax_row(i)) apply_relax_row(*row, targets[i]);
+    }
+    RelaxStageResult out;
+    out.report = *journal->stage_report(StageKind::kRelaxation);
+    return out;
+  }
 
   // Real minimizations on the kept subset; fit evals ~ a + b * atoms.
+  // Targets already journaled from an interrupted run reuse their
+  // recorded calibration samples instead of re-minimizing.
   std::vector<double> fit_atoms;
   std::vector<double> fit_evals;
   for (const auto& k : kept) {
-    const RelaxOutcome outcome = relax_single_pass(k.structure, cfg.relax);
     TargetResult& tr = targets[k.record_index];
+    if (const JournalRelaxRow* row = journal ? journal->relax_row(k.record_index) : nullptr) {
+      apply_relax_row(*row, tr);
+      fit_atoms.push_back(row->heavy_atoms);
+      fit_evals.push_back(row->energy_evaluations);
+      continue;
+    }
+    const RelaxOutcome outcome = relax_single_pass(k.structure, cfg.relax);
     tr.relaxed = true;
     tr.clashes_before = outcome.violations_before.clashes;
     tr.clashes_after = outcome.violations_after.clashes;
@@ -25,6 +57,17 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
     tr.bumps_after = outcome.violations_after.bumps;
     fit_atoms.push_back(static_cast<double>(outcome.heavy_atoms));
     fit_evals.push_back(static_cast<double>(outcome.energy_evaluations));
+    if (journal) {
+      JournalRelaxRow row;
+      row.index = k.record_index;
+      row.clashes_before = outcome.violations_before.clashes;
+      row.clashes_after = outcome.violations_after.clashes;
+      row.bumps_before = outcome.violations_before.bumps;
+      row.bumps_after = outcome.violations_after.bumps;
+      row.heavy_atoms = static_cast<double>(outcome.heavy_atoms);
+      row.energy_evaluations = static_cast<double>(outcome.energy_evaluations);
+      journal->record_relaxed(row);
+    }
   }
   LinearFit evals_fit{120.0, 0.05};
   if (fit_atoms.size() >= 2) evals_fit = linear_fit(fit_atoms, fit_evals);
@@ -63,10 +106,20 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
     return o;
   };
 
-  const MapResult run = ctx.executor.map(tasks, fn);
+  RetryPolicy retry;
+  retry.retry_order = cfg.order;
+  retry.seed = cfg.seed;
+  const FaultInjector injector = stage_fault_injector(cfg, StageKind::kRelaxation);
+  if (injector.active()) {
+    retry.max_attempts = std::max(2, cfg.faults.transient_attempts + 2);
+    retry.backoff_base_s = 10.0;
+  }
+
+  const MapResult run = ctx.executor.map(tasks, fn, retry, &injector);
   RelaxStageResult out;
   out.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),
                                  static_cast<int>(tasks.size()));
+  if (journal) journal->record_stage_complete(StageKind::kRelaxation, out.report);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "sim/cluster.hpp"
 
@@ -10,7 +11,7 @@ namespace sf {
 double MapResult::primary_pool_s() const {
   double t = primary.makespan_s;
   for (const auto& r : retries) {
-    if (!r.alt_pool) t += r.run.makespan_s;
+    if (!r.alt_pool) t += r.backoff_s + r.run.makespan_s;
   }
   return t;
 }
@@ -18,7 +19,7 @@ double MapResult::primary_pool_s() const {
 double MapResult::alt_pool_s() const {
   double t = 0.0;
   for (const auto& r : retries) {
-    if (r.alt_pool) t += r.run.makespan_s;
+    if (r.alt_pool) t += r.backoff_s + r.run.makespan_s;
   }
   return t;
 }
@@ -26,12 +27,67 @@ double MapResult::alt_pool_s() const {
 double MapResult::wall_s() const { return std::max(primary_pool_s(), alt_pool_s()); }
 
 MapResult Executor::map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
-                        const RetryPolicy& policy) {
+                        const RetryPolicy& policy, const FaultInjector* faults) {
   MapResult out;
+  const bool inject = faults != nullptr && faults->active();
+
+  // The fault-aware wrapper runs on every backend; the threaded backend
+  // calls it concurrently, so accounting updates are mutex-guarded.
+  // Decisions themselves are pure functions of (plan, task, attempt) --
+  // no shared state -- which is what makes the schedule identical across
+  // backends, worker counts, and thread interleavings.
+  std::mutex acct_mutex;
+  const TaskFn effective = [&](const TaskSpec& t, const TaskAttempt& at) -> TaskOutcome {
+    TaskOutcome o = fn(t, at);
+    if (!o.ok) {
+      const std::lock_guard<std::mutex> lock(acct_mutex);
+      ++out.faults.intrinsic_failures;
+      out.faults.lost_work_s += o.sim_duration_s;
+      return o;
+    }
+    if (!inject) return o;
+    const FaultDecision d = faults->decide(t.id, at);
+    const std::lock_guard<std::mutex> lock(acct_mutex);
+    switch (d.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kWorkerCrash:
+        ++out.faults.crash_attempts;
+        o.ok = false;
+        o.sim_duration_s *= d.duration_scale;  // worker died mid-task
+        out.faults.lost_work_s += o.sim_duration_s;
+        break;
+      case FaultKind::kTransient:
+        ++out.faults.transient_attempts;
+        o.ok = false;  // errored at the end; the whole attempt is lost
+        out.faults.lost_work_s += o.sim_duration_s;
+        break;
+      case FaultKind::kOom:
+        ++out.faults.oom_attempts;
+        o.ok = false;
+        o.sim_duration_s *= d.duration_scale;  // died at the allocation
+        out.faults.lost_work_s += o.sim_duration_s;
+        break;
+      case FaultKind::kStraggler:
+        ++out.faults.straggler_attempts;
+        out.faults.straggler_delay_s += o.sim_duration_s * (d.duration_scale - 1.0);
+        o.sim_duration_s *= d.duration_scale;
+        break;
+      case FaultKind::kFsStall:
+        ++out.faults.stalled_attempts;
+        out.faults.stall_delay_s += d.extra_delay_s;
+        o.sim_duration_s += d.extra_delay_s;
+        break;
+    }
+    return o;
+  };
+
   std::vector<TaskSpec> failed;
-  out.primary = run_batch(tasks, fn, {0, false}, 1.0, Pool::kPrimary, failed);
+  BatchEnv env;
+  out.primary = run_batch(tasks, effective, env, failed);
 
   double scale = 1.0;
+  double backoff = policy.backoff_base_s;
   for (int attempt = 1; attempt < policy.max_attempts && !failed.empty(); ++attempt) {
     scale *= policy.retry_cost_scale;
     // Canonical re-queue order (task id), then the stage's own queue
@@ -49,12 +105,26 @@ MapResult Executor::map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
     round.attempt = attempt;
     round.alt_pool = alt;
     round.tasks = static_cast<int>(batch.size());
-    round.run = run_batch(batch, fn, {attempt, alt}, scale, alt ? Pool::kAlt : Pool::kPrimary,
-                          failed);
+    round.backoff_s = policy.backoff_base_s > 0.0 ? backoff : 0.0;
+    backoff *= policy.backoff_growth;
+    out.faults.backoff_delay_s += round.backoff_s;
+
+    env.attempt = {attempt, alt};
+    env.cost_scale = scale;
+    env.pool = alt ? Pool::kAlt : Pool::kPrimary;
+    // Crashed workers stay dead: later primary-pool rounds run on the
+    // surviving width (at least one worker remains).
+    env.workers_lost =
+        alt ? 0 : std::min(out.faults.crash_attempts, std::max(0, workers() - 1));
+    env.delay_s = round.backoff_s;
+
+    round.run = run_batch(batch, effective, env, failed);
     if (alt) out.rerouted_tasks += round.tasks;
+    out.retry_attempts += round.tasks;
     out.retries.push_back(std::move(round));
   }
   out.failed_tasks = static_cast<int>(failed.size());
+  out.faults.workers_lost = std::min(out.faults.crash_attempts, std::max(0, workers() - 1));
   return out;
 }
 
@@ -88,15 +158,22 @@ SimulatedExecutor SimulatedExecutor::from_pools(const SimulatedDataflowParams& b
 }
 
 DataflowRunResult SimulatedExecutor::run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
-                                               const TaskAttempt& attempt, double cost_scale,
-                                               Pool pool, std::vector<TaskSpec>& failed) {
-  const SimulatedDataflowParams& params = pool == Pool::kAlt ? alt_ : primary_;
+                                               const BatchEnv& env, std::vector<TaskSpec>& failed) {
+  SimulatedDataflowParams params = env.pool == Pool::kAlt ? alt_ : primary_;
+  if (env.pool == Pool::kPrimary && env.workers_lost > 0) {
+    params.workers = std::max(1, params.workers - env.workers_lost);
+    if (!params.worker_speed.empty()) {
+      params.worker_speed.resize(static_cast<std::size_t>(params.workers));
+    }
+  }
+  // Backoff stalls the round's start the way scheduler registration does.
+  params.startup_s += env.delay_s;
   // The DES dispatches queue-head first, so fn is invoked exactly once
   // per task in batch submission order; failures collect in that order.
   const auto duration = [&](const TaskSpec& t) {
-    const TaskOutcome o = fn(t, attempt);
+    const TaskOutcome o = fn(t, env.attempt);
     if (!o.ok) failed.push_back(t);
-    return o.sim_duration_s * cost_scale;
+    return o.sim_duration_s * env.cost_scale;
   };
   return run_simulated_dataflow(batch, duration, params);
 }
@@ -110,19 +187,31 @@ ThreadedExecutor::ThreadedExecutor(std::size_t workers, std::size_t alt_workers)
       alt_(alt_workers > 0 ? std::make_unique<ThreadedDataflow>(alt_workers) : nullptr) {}
 
 DataflowRunResult ThreadedExecutor::run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
-                                              const TaskAttempt& attempt, double cost_scale,
-                                              Pool pool, std::vector<TaskSpec>& failed) {
-  (void)cost_scale;  // real work cannot be rescaled
-  ThreadedDataflow& flow = (pool == Pool::kAlt && alt_) ? *alt_ : primary_;
+                                              const BatchEnv& env, std::vector<TaskSpec>& failed) {
+  ThreadedDataflow* flow = &primary_;
+  // A retry round after worker crashes really runs on fewer threads;
+  // modeled delays (backoff, stalls) are accounted, not slept.
+  std::unique_ptr<ThreadedDataflow> shrunk;
+  if (env.pool == Pool::kAlt && alt_) {
+    flow = alt_.get();
+  } else if (env.workers_lost > 0) {
+    const std::size_t width =
+        primary_.workers() > static_cast<std::size_t>(env.workers_lost)
+            ? primary_.workers() - static_cast<std::size_t>(env.workers_lost)
+            : 1;
+    shrunk = std::make_unique<ThreadedDataflow>(width);
+    flow = shrunk.get();
+  }
+  const TaskAttempt attempt = env.attempt;
   const std::function<TaskOutcome(const TaskSpec&)> wrapped =
       [&fn, &attempt](const TaskSpec& t) { return fn(t, attempt); };
-  const std::vector<TaskOutcome> outcomes = flow.map<TaskOutcome>(batch, wrapped);
+  const std::vector<TaskOutcome> outcomes = flow->map<TaskOutcome>(batch, wrapped);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (!outcomes[i].ok) failed.push_back(batch[i]);
   }
 
   DataflowRunResult res;
-  res.records = flow.take_records();
+  res.records = flow->take_records();
   double first = std::numeric_limits<double>::infinity();
   double last = 0.0;
   for (const auto& r : res.records) {

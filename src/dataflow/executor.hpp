@@ -5,15 +5,21 @@
 // host) -- implement the same map()/TaskRecord semantics: submit an
 // ordered task list, get back one TaskRecord per task attempt plus pool
 // makespans. Failure handling is declarative: a RetryPolicy describes
-// how many attempts each task gets and whether failed tasks reroute to
-// the executor's alternate worker pool (the paper's high-memory-node
-// rerun for OOM inference tasks, §3.3, generalized so *any* stage can
-// retry or reroute).
+// how many attempts each task gets, whether failed tasks reroute to the
+// executor's alternate worker pool (the paper's high-memory-node rerun
+// for OOM inference tasks, §3.3, generalized so *any* stage can retry
+// or reroute), and how retry rounds back off.
 //
 // The task function does the stage's work and reports a TaskOutcome:
 // whether the attempt succeeded and, for simulated backends, the
 // modeled duration. It receives a TaskAttempt so workloads can price
 // retries differently (e.g. a high-memory rerun runs more passes).
+//
+// map() optionally takes a FaultInjector (dataflow/fault.hpp): a seeded,
+// schedule-independent fault plan that both backends apply identically.
+// Injected failures flow through the same RetryPolicy as intrinsic ones,
+// and MapResult::faults attributes every lost attempt, dilated duration,
+// and dead worker to its fault class.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "dataflow/fault.hpp"
 #include "dataflow/simulated.hpp"
 #include "dataflow/task.hpp"
 #include "dataflow/threaded.hpp"
@@ -48,6 +55,11 @@ struct RetryPolicy {
   int max_attempts = 1;              // total attempts per task (1 = no retry)
   bool reroute_to_alt_pool = false;  // retries run on the alternate pool
   double retry_cost_scale = 1.0;     // duration multiplier per retry attempt
+  // Exponential backoff before retry round r: base * growth^(r-1)
+  // modeled seconds (0 = resubmit immediately). Stalls the round's
+  // start the way a scheduler waits out a flapping resource.
+  double backoff_base_s = 0.0;
+  double backoff_growth = 2.0;
   // Failed tasks are re-queued in canonical task-id order, then this
   // ordering policy is applied (mirrors the stage's own queue order).
   TaskOrder retry_order = TaskOrder::kSubmission;
@@ -59,6 +71,7 @@ struct RetryRound {
   int attempt = 0;        // 1-based retry index
   bool alt_pool = false;  // ran on the alternate pool
   int tasks = 0;
+  double backoff_s = 0.0;  // wait applied before the round started
   DataflowRunResult run;
 };
 
@@ -67,6 +80,8 @@ struct MapResult {
   std::vector<RetryRound> retries;  // later attempts, failed sets only
   int failed_tasks = 0;             // tasks that exhausted all attempts
   int rerouted_tasks = 0;           // task attempts run on the alt pool
+  int retry_attempts = 0;           // task attempts beyond the first
+  FaultAccounting faults;           // per-failure-kind attribution
 
   // Busy span of each pool: retry rounds run serially after the round
   // that produced their failures.
@@ -84,21 +99,28 @@ class Executor {
   virtual int workers() const = 0;      // primary pool width
   virtual int alt_workers() const = 0;  // alternate pool width (0 = none)
 
-  // Map `fn` over `tasks` (already ordered) under `policy`. The retry
-  // loop is shared across backends (template method); backends only
-  // supply run_batch().
+  // Map `fn` over `tasks` (already ordered) under `policy`, optionally
+  // injecting `faults`. The retry loop is shared across backends
+  // (template method); backends only supply run_batch().
   MapResult map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
-                const RetryPolicy& policy = {});
+                const RetryPolicy& policy = {}, const FaultInjector* faults = nullptr);
 
  protected:
   enum class Pool { kPrimary, kAlt };
 
-  // Run one attempt of `batch` on `pool`; append tasks whose outcome was
-  // not ok to `failed` in batch submission order. `cost_scale`
-  // multiplies modeled durations (simulated backends).
+  // Everything a backend needs to run one round.
+  struct BatchEnv {
+    TaskAttempt attempt;
+    double cost_scale = 1.0;  // modeled-duration multiplier (retries)
+    Pool pool = Pool::kPrimary;
+    int workers_lost = 0;  // crashed workers removed from the primary pool
+    double delay_s = 0.0;  // backoff wait before the round starts
+  };
+
+  // Run one attempt of `batch` under `env`; append tasks whose outcome
+  // was not ok to `failed` in batch submission order.
   virtual DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
-                                      const TaskAttempt& attempt, double cost_scale, Pool pool,
-                                      std::vector<TaskSpec>& failed) = 0;
+                                      const BatchEnv& env, std::vector<TaskSpec>& failed) = 0;
 };
 
 // Simulated-time backend: wraps run_simulated_dataflow() for the primary
@@ -123,8 +145,7 @@ class SimulatedExecutor final : public Executor {
 
  protected:
   DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
-                              const TaskAttempt& attempt, double cost_scale, Pool pool,
-                              std::vector<TaskSpec>& failed) override;
+                              const BatchEnv& env, std::vector<TaskSpec>& failed) override;
 
  private:
   static SimulatedDataflowParams no_pool() {
@@ -138,7 +159,11 @@ class SimulatedExecutor final : public Executor {
 };
 
 // Real-execution backend: tasks actually run on host threads (one
-// ThreadedDataflow per pool); records carry wall-clock times.
+// ThreadedDataflow per pool); records carry wall-clock times. Fault
+// decisions are identical to the simulated backend's; modeled effects
+// (straggler dilation, stall delays, backoff) are accounted but not
+// slept, and a shrunken primary pool really runs retry rounds on fewer
+// threads.
 class ThreadedExecutor final : public Executor {
  public:
   explicit ThreadedExecutor(std::size_t workers, std::size_t alt_workers = 0);
@@ -149,8 +174,7 @@ class ThreadedExecutor final : public Executor {
 
  protected:
   DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
-                              const TaskAttempt& attempt, double cost_scale, Pool pool,
-                              std::vector<TaskSpec>& failed) override;
+                              const BatchEnv& env, std::vector<TaskSpec>& failed) override;
 
  private:
   ThreadedDataflow primary_;

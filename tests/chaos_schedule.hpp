@@ -1,0 +1,83 @@
+// Randomized fault-schedule generator for the chaos suite.
+//
+// One seed fully determines a chaos case: the task set, the worker-pool
+// shape, the RetryPolicy, and the FaultPlan. The chaos tests sweep
+// hundreds of seeds through both executor backends and compare against
+// a pure oracle (tests/test_chaos_campaign.cpp), so every generated
+// dimension here must stay a function of the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+namespace chaos {
+
+struct ChaosCase {
+  std::vector<TaskSpec> tasks;
+  FaultPlan plan;
+  RetryPolicy policy;
+  int workers = 1;
+  int alt_workers = 0;
+};
+
+inline std::vector<TaskSpec> make_tasks(Rng& rng) {
+  const int n = static_cast<int>(rng.uniform_int(8, 60));
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.id = static_cast<std::uint64_t>(i);
+    t.name = "chaos" + std::to_string(i);
+    t.cost_hint = rng.lognormal(2.0, 0.7);
+    t.payload = static_cast<std::size_t>(i);
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+inline FaultPlan make_plan(std::uint64_t seed, Rng& rng) {
+  FaultPlan plan;
+  plan.seed = mix64(seed, 0xC4A05C4A05ULL);
+  // Each class is dropped entirely in ~1/3 of plans so the suite also
+  // covers schedules where a class never fires.
+  const auto rate = [&rng](double hi) { return rng.chance(0.67) ? rng.uniform(0.0, hi) : 0.0; };
+  plan.crash_rate = rate(0.15);
+  plan.transient_rate = rate(0.2);
+  plan.transient_attempts = static_cast<int>(rng.uniform_int(1, 3));
+  plan.oom_rate = rate(0.2);
+  plan.straggler_rate = rate(0.25);
+  plan.straggler_factor = rng.uniform(2.0, 6.0);
+  plan.fs_stall_rate = rate(0.2);
+  plan.fs_stall_base_s = rng.uniform(5.0, 60.0);
+  plan.fs_stall_jobs = static_cast<int>(rng.uniform_int(1, 16));
+  return plan;
+}
+
+inline RetryPolicy make_policy(Rng& rng) {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(rng.uniform_int(1, 5));
+  policy.reroute_to_alt_pool = rng.chance(0.5);
+  policy.retry_cost_scale = rng.chance(0.3) ? 1.5 : 1.0;
+  if (rng.chance(0.4)) policy.backoff_base_s = rng.uniform(1.0, 20.0);
+  policy.retry_order = rng.chance(0.5) ? TaskOrder::kSubmission : TaskOrder::kDescendingCost;
+  policy.seed = rng.next_u64();
+  return policy;
+}
+
+inline ChaosCase make_case(std::uint64_t seed) {
+  Rng rng(seed, 0xC4A05);
+  ChaosCase c;
+  c.tasks = make_tasks(rng);
+  c.plan = make_plan(seed, rng);
+  c.policy = make_policy(rng);
+  c.workers = static_cast<int>(rng.uniform_int(1, 10));
+  c.alt_workers = static_cast<int>(rng.uniform_int(0, 3));
+  return c;
+}
+
+}  // namespace chaos
+}  // namespace sf

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -55,6 +56,36 @@ TEST(TaskPacking, RoundTrip) {
       EXPECT_EQ(p.model, model);
     }
   }
+}
+
+TEST(TaskPacking, ExhaustiveRoundTripOverStride) {
+  // Every (record, model) pair in a proteome-sized range round-trips,
+  // for every model slot the stride reserves -- not just the 5 shipped.
+  for (std::size_t record = 0; record < 512; ++record) {
+    for (std::size_t model = 0; model < kModelsPerRecordStride; ++model) {
+      const std::size_t payload = pack_task(record, model);
+      const PackedTask p = unpack_task(payload);
+      ASSERT_EQ(p.record, record) << payload;
+      ASSERT_EQ(p.model, model) << payload;
+    }
+  }
+}
+
+TEST(TaskPacking, MaxIndicesDoNotOverflow) {
+  // The paper's largest campaign is 35,634 targets; the packing must
+  // hold far beyond that, up to the size_t ceiling of the stride.
+  const std::size_t max_record = std::numeric_limits<std::size_t>::max() / kModelsPerRecordStride;
+  for (const std::size_t record : {std::size_t{35633}, std::size_t{1u << 20}, max_record - 1}) {
+    for (const std::size_t model : {std::size_t{0}, kModelsPerRecordStride - 1}) {
+      const PackedTask p = unpack_task(pack_task(record, model));
+      EXPECT_EQ(p.record, record);
+      EXPECT_EQ(p.model, model);
+    }
+  }
+  // Packing stays strictly monotone in (record, model), so task ids
+  // derived from payloads never collide.
+  EXPECT_LT(pack_task(max_record - 1, kModelsPerRecordStride - 1),
+            std::numeric_limits<std::size_t>::max());
 }
 
 TEST(TaskPacking, StrideLeavesRoomForEightModels) {
@@ -210,6 +241,28 @@ TEST(TaskStats, CsvRoundTrip) {
   EXPECT_EQ(parsed[1].name, "b,with,commas");
   EXPECT_DOUBLE_EQ(parsed[0].end_s, 5.0);
   EXPECT_EQ(parsed[1].worker, 1);
+}
+
+TEST(TaskStats, CsvGoldenLayout) {
+  // Golden-file lock on the recorder's exact byte layout: header order,
+  // row order (as recorded, not sorted), comma escaping, and default
+  // float formatting (6 significant digits, scientific past 1e6). Any
+  // deviation breaks downstream notebooks parsing campaign CSVs.
+  const std::vector<TaskRecord> records{
+      {7, "dv_00042/model3", 11, 0.0, 90.125},
+      {8, "name,with,commas", 2, 1.5, 2.25},
+      {9, "plain", 0, 1234567.0, 0.000125},
+      {3, "out_of_order_id_kept_in_place", 1, 10.0, 20.5},
+  };
+  std::ostringstream out;
+  write_task_stats_csv(out, records);
+  const std::string golden =
+      "task_id,name,worker,start_s,end_s\n"
+      "7,dv_00042/model3,11,0,90.125\n"
+      "8,\"name,with,commas\",2,1.5,2.25\n"
+      "9,plain,0,1.23457e+06,0.000125\n"
+      "3,out_of_order_id_kept_in_place,1,10,20.5\n";
+  EXPECT_EQ(out.str(), golden);
 }
 
 TEST(TaskStats, TimelineRendering) {

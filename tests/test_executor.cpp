@@ -204,6 +204,143 @@ TEST(Executor, ThreadedRerouteRunsOnAltPool) {
   check_record_invariants(run.retries[0].run.records, 6);
 }
 
+TEST(Executor, BackoffExtendsPoolSpansAndIsAccounted) {
+  const auto tasks = make_tasks(6);
+  SimulatedDataflowParams params;
+  params.workers = 3;
+  params.dispatch_overhead_s = 0.0;
+  params.startup_s = 0.0;
+  SimulatedDataflowParams alt = params;
+  alt.workers = 2;
+  SimulatedExecutor exec{params, alt};
+
+  // Tasks fail their first two attempts, succeed on the third.
+  const TaskFn fn = [](const TaskSpec& t, const TaskAttempt& at) {
+    TaskOutcome o;
+    o.ok = at.attempt >= 2;
+    o.sim_duration_s = t.cost_hint;
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_s = 8.0;
+  policy.backoff_growth = 3.0;
+  const MapResult run = exec.map(tasks, fn, policy);
+
+  ASSERT_EQ(run.retries.size(), 2u);
+  // Exponential schedule: 8s before round 1, 24s before round 2.
+  EXPECT_DOUBLE_EQ(run.retries[0].backoff_s, 8.0);
+  EXPECT_DOUBLE_EQ(run.retries[1].backoff_s, 24.0);
+  EXPECT_DOUBLE_EQ(run.faults.backoff_delay_s, 32.0);
+  // Same-pool retries serialize after the primary round, backoff
+  // included in the busy span.
+  double expected = run.primary.makespan_s;
+  for (const auto& r : run.retries) expected += r.backoff_s + r.run.makespan_s;
+  EXPECT_DOUBLE_EQ(run.primary_pool_s(), expected);
+  EXPECT_EQ(run.alt_pool_s(), 0.0);
+  EXPECT_DOUBLE_EQ(run.wall_s(), run.primary_pool_s());
+}
+
+TEST(Executor, PoolSpansWhenRetryRoundsLandOnBothPools) {
+  // Rerouted retries move to the alternate pool: primary_pool_s() must
+  // stop at the first round's makespan while alt_pool_s() carries the
+  // retry rounds (and their backoff), and the wall is their max.
+  const auto tasks = make_tasks(10);
+  SimulatedDataflowParams params;
+  params.workers = 4;
+  SimulatedDataflowParams alt = params;
+  alt.workers = 1;
+  SimulatedExecutor exec{params, alt};
+
+  const TaskFn fn = [](const TaskSpec& t, const TaskAttempt& at) {
+    TaskOutcome o;
+    o.ok = at.alt_pool || t.id % 2 == 0;
+    o.sim_duration_s = t.cost_hint;
+    return o;
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.reroute_to_alt_pool = true;
+  policy.backoff_base_s = 5.0;
+  const MapResult run = exec.map(tasks, fn, policy);
+
+  ASSERT_EQ(run.retries.size(), 1u);
+  EXPECT_TRUE(run.retries[0].alt_pool);
+  EXPECT_DOUBLE_EQ(run.primary_pool_s(), run.primary.makespan_s);
+  EXPECT_DOUBLE_EQ(run.alt_pool_s(), 5.0 + run.retries[0].run.makespan_s);
+  EXPECT_DOUBLE_EQ(run.wall_s(), std::max(run.primary_pool_s(), run.alt_pool_s()));
+  EXPECT_DOUBLE_EQ(run.faults.backoff_delay_s, 5.0);
+}
+
+// Deterministic intrinsic-failure pattern: task `id` fails its first
+// (id % modulus) attempts, everywhere.
+TaskFn flaky_fn(int modulus, std::map<std::uint64_t, int>* attempts, std::mutex* mu) {
+  return [modulus, attempts, mu](const TaskSpec& t, const TaskAttempt& at) {
+    {
+      const std::lock_guard<std::mutex> lock(*mu);
+      ++(*attempts)[t.id];
+    }
+    TaskOutcome o;
+    o.ok = at.attempt >= static_cast<int>(t.id) % modulus;
+    o.sim_duration_s = t.cost_hint;
+    return o;
+  };
+}
+
+TEST(Executor, PolicyGridBackendParityProperty) {
+  // Property sweep: randomized task sets crossed with a RetryPolicy
+  // grid, through both backends. Attempt counts, failed counts, reroute
+  // accounting, and round structure must agree pairwise on every case.
+  Rng rng(0xBACDU);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 48));
+    auto tasks = make_tasks(n, rng.next_u64());
+    apply_order(tasks, TaskOrder::kDescendingCost);
+    for (const int max_attempts : {1, 2, 4}) {
+      for (const bool reroute : {false, true}) {
+        RetryPolicy policy;
+        policy.max_attempts = max_attempts;
+        policy.reroute_to_alt_pool = reroute;
+        policy.retry_order = TaskOrder::kDescendingCost;
+        const int modulus = static_cast<int>(rng.uniform_int(2, 5));
+
+        SimulatedDataflowParams params;
+        params.workers = static_cast<int>(rng.uniform_int(1, 8));
+        SimulatedDataflowParams alt_params = params;
+        alt_params.workers = reroute ? 2 : 0;
+        SimulatedExecutor sim{params, alt_params};
+        ThreadedExecutor threaded(3, reroute ? 2 : 0);
+
+        std::mutex mu;
+        std::map<std::uint64_t, int> sim_attempts, thr_attempts;
+        const MapResult sim_run = sim.map(tasks, flaky_fn(modulus, &sim_attempts, &mu), policy);
+        const MapResult thr_run =
+            threaded.map(tasks, flaky_fn(modulus, &thr_attempts, &mu), policy);
+
+        SCOPED_TRACE("trial " + std::to_string(trial) + " attempts " +
+                     std::to_string(max_attempts) + " reroute " + std::to_string(reroute) +
+                     " modulus " + std::to_string(modulus));
+        EXPECT_EQ(sim_attempts, thr_attempts);
+        EXPECT_EQ(sim_run.failed_tasks, thr_run.failed_tasks);
+        EXPECT_EQ(sim_run.retry_attempts, thr_run.retry_attempts);
+        EXPECT_EQ(sim_run.rerouted_tasks, thr_run.rerouted_tasks);
+        EXPECT_EQ(sim_run.faults.intrinsic_failures, thr_run.faults.intrinsic_failures);
+        ASSERT_EQ(sim_run.retries.size(), thr_run.retries.size());
+        for (std::size_t r = 0; r < sim_run.retries.size(); ++r) {
+          EXPECT_EQ(sim_run.retries[r].tasks, thr_run.retries[r].tasks);
+          EXPECT_EQ(sim_run.retries[r].alt_pool, thr_run.retries[r].alt_pool);
+        }
+        // Oracle: task id fails its first id%modulus attempts, so its
+        // attempt count is min(id%modulus + 1, max_attempts).
+        for (const auto& [id, count] : sim_attempts) {
+          const int fails = static_cast<int>(id) % modulus;
+          EXPECT_EQ(count, std::min(fails + 1, max_attempts)) << "task " << id;
+        }
+      }
+    }
+  }
+}
+
 TEST(Executor, RetryRequeueFollowsCanonicalOrderThenPolicy) {
   // Failed tasks are re-queued in task-id order and the policy's
   // ordering applied, so a descending-cost stage retries long tasks
