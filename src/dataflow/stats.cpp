@@ -1,12 +1,12 @@
 #include "dataflow/stats.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/file_io.hpp"
 #include "util/string_util.hpp"
 
 namespace sf {
@@ -20,9 +20,7 @@ void write_task_stats_csv(std::ostream& out, const std::vector<TaskRecord>& reco
 }
 
 void write_task_stats_csv_file(const std::string& path, const std::vector<TaskRecord>& records) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_task_stats_csv_file: cannot open " + path);
-  write_task_stats_csv(out, records);
+  write_file_atomic(path, [&](std::ostream& out) { write_task_stats_csv(out, records); });
 }
 
 std::vector<TaskRecord> read_task_stats_csv(std::istream& in) {

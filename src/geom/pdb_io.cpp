@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/file_io.hpp"
+
 namespace sf {
 
 namespace {
@@ -82,9 +84,7 @@ std::string to_pdb_string(const Structure& s) {
 }
 
 void write_pdb_file(const std::string& path, const Structure& s) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_pdb_file: cannot open " + path);
-  write_pdb(out, s);
+  write_file_atomic(path, [&](std::ostream& out) { write_pdb(out, s); });
 }
 
 Structure read_pdb(std::istream& in, const std::string& name) {

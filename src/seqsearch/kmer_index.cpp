@@ -51,23 +51,34 @@ std::vector<KmerSeedHit> KmerIndex::query(std::string_view residues, int min_see
     }
   }
 
-  // Keep the best diagonal per sequence.
-  std::unordered_map<std::uint32_t, KmerSeedHit> best;
-  for (const auto& [slot, count] : diag_counts) {
+  // Keep the best diagonal per sequence. Slots are sorted before the
+  // scan so the winner among tied diagonals is the lowest bucket --
+  // unordered_map iteration order must never pick it (the chosen
+  // diagonal seeds the banded alignment, which feeds every report
+  // downstream).
+  std::vector<std::pair<std::uint64_t, int>> sorted_counts(diag_counts.begin(),
+                                                           diag_counts.end());
+  std::sort(sorted_counts.begin(), sorted_counts.end());
+
+  std::vector<KmerSeedHit> hits;
+  KmerSeedHit current{};
+  bool have_current = false;
+  auto flush = [&] {
+    if (have_current && current.seed_count >= min_seeds) hits.push_back(current);
+  };
+  for (const auto& [slot, count] : sorted_counts) {
     const auto seq = static_cast<std::uint32_t>(slot >> 24);
     const int bucket = static_cast<int>(slot & 0xFFFFFF);
     const int diag = (bucket << 4) - (1 << 20);
-    auto it = best.find(seq);
-    if (it == best.end() || count > it->second.seed_count) {
-      best[seq] = {seq, diag, count};
+    if (!have_current || current.sequence_index != seq) {
+      flush();
+      current = {seq, diag, count};
+      have_current = true;
+    } else if (count > current.seed_count) {
+      current = {seq, diag, count};
     }
   }
-
-  std::vector<KmerSeedHit> hits;
-  hits.reserve(best.size());
-  for (const auto& [seq, hit] : best) {
-    if (hit.seed_count >= min_seeds) hits.push_back(hit);
-  }
+  flush();
   std::sort(hits.begin(), hits.end(), [](const KmerSeedHit& a, const KmerSeedHit& b) {
     if (a.seed_count != b.seed_count) return a.seed_count > b.seed_count;
     return a.sequence_index < b.sequence_index;

@@ -3,34 +3,44 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_set>
 
 namespace sf {
 
 namespace {
 
-// Packed 4-mer set of a sequence (5 bits per residue).
-std::unordered_set<std::uint32_t> kmer_sketch(const std::string& s) {
-  std::unordered_set<std::uint32_t> set;
-  if (s.size() < 4) return set;
+// Packed 4-mer set of a sequence (5 bits per residue), as a sorted
+// deduplicated vector: order-deterministic and merge-intersectable,
+// where an unordered_set would hand downstream code a platform-defined
+// iteration order (sfcheck rule D3).
+std::vector<std::uint32_t> kmer_sketch(const std::string& s) {
+  std::vector<std::uint32_t> keys;
+  if (s.size() < 4) return keys;
+  keys.reserve(s.size() - 3);
   for (std::size_t i = 0; i + 4 <= s.size(); ++i) {
     std::uint32_t key = 1;
     for (std::size_t j = 0; j < 4; ++j) {
       key = (key << 5) | (static_cast<std::uint32_t>(s[i + j]) & 31u);
     }
-    set.insert(key);
+    keys.push_back(key);
   }
-  return set;
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
 }
 
-double jaccard(const std::unordered_set<std::uint32_t>& a,
-               const std::unordered_set<std::uint32_t>& b) {
+double jaccard(const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
   if (a.empty() || b.empty()) return 0.0;
-  const auto& small = a.size() <= b.size() ? a : b;
-  const auto& big = a.size() <= b.size() ? b : a;
   std::size_t inter = 0;
-  for (std::uint32_t k : small) {
-    if (big.count(k)) ++inter;
+  for (std::size_t i = 0, j = 0; i < a.size() && j < b.size();) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   return static_cast<double>(inter) /
          static_cast<double>(a.size() + b.size() - inter);
@@ -52,7 +62,7 @@ double Msa::effective_depth(double cluster_identity) const {
     // Fraction of shared 4-mers falls roughly like identity^4; two
     // sequences at the clustering identity share about that Jaccard.
     const double jaccard_cut = std::pow(cluster_identity, 4.0);
-    std::vector<std::unordered_set<std::uint32_t>> sketches;
+    std::vector<std::vector<std::uint32_t>> sketches;
     sketches.reserve(hits_.size());
     for (const auto& h : hits_) sketches.push_back(kmer_sketch(h.subject_residues));
     for (std::size_t i = 0; i < hits_.size(); ++i) {

@@ -1,0 +1,29 @@
+#include "util/file_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace sf {
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+    body(out);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write_file_atomic: write failed for " + path);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: rename failed for " + path);
+  }
+}
+
+}  // namespace sf

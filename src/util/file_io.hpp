@@ -1,0 +1,27 @@
+// Torn-write-safe file output.
+//
+// A campaign killed mid-write must never leave a half-valid artifact on
+// disk: resume logic (core/journal) and downstream readers (FASTA, PDB,
+// stats CSVs) both assume a file either has its complete content or
+// does not exist. The journal gets that property line-by-line with its
+// `end`-token framing; every other writer gets it here, by writing to a
+// sibling temp file and renaming over the target only after a
+// successful flush -- rename(2) is atomic on POSIX.
+//
+// sfcheck rule D4 enforces the funnel: a naked std::ofstream anywhere
+// outside this helper (and the journal's guarded appender) fails lint.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace sf {
+
+// Write `body(out)` to `path` atomically: the content lands in
+// `path + ".tmp"` first and is renamed over `path` after a clean flush.
+// Throws std::runtime_error (and removes the temp file) when the target
+// cannot be opened or the stream fails.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body);
+
+}  // namespace sf

@@ -1,0 +1,3 @@
+// sfcheck fixture: L1 violation (bio reaching up into geom).
+#pragma once
+#include "geom/structure.hpp"

@@ -1,0 +1,10 @@
+// sfcheck fixture: D1 violations (unseeded / hidden-state RNG).
+#include <cstdlib>
+#include <random>
+
+int d1_bad() {
+  int x = rand();
+  std::random_device rd;
+  std::mt19937 gen;
+  return x + static_cast<int>(rd()) + static_cast<int>(gen());
+}

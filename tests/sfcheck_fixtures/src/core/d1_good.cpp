@@ -1,0 +1,10 @@
+// sfcheck fixture: D1-clean RNG usage (seeded engines, sf::Rng).
+#include <random>
+
+#include "util/rng.hpp"
+
+double d1_good(unsigned seed, sf::Rng& rng) {
+  std::mt19937 seeded(seed);
+  std::mt19937 braced{seed};
+  return rng.uniform() + static_cast<double>(seeded() + braced());
+}

@@ -1,0 +1,9 @@
+// sfcheck fixture: D2 violations (wall-clock reads).
+#include <chrono>
+#include <ctime>
+
+double d2_bad() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = time(nullptr);
+  return static_cast<double>(t) + static_cast<double>(now.time_since_epoch().count());
+}

@@ -1,0 +1,6 @@
+// sfcheck fixture: D2-clean code (simulated time only; identifiers
+// that merely contain clock-ish substrings must not fire).
+double d2_good(double sim_now, double runtime) {
+  const double end_time = sim_now + runtime;
+  return end_time;
+}

@@ -1,0 +1,14 @@
+// sfcheck fixture: D3 violations (unordered iteration feeding output).
+#include <ostream>
+#include <unordered_map>
+
+void d3_bad(std::ostream& out) {
+  std::unordered_map<int, double> totals_by_id;
+  totals_by_id[3] = 1.5;
+  for (const auto& [id, total] : totals_by_id) {
+    out << id << ',' << total << '\n';
+  }
+  for (auto it = totals_by_id.begin(); it != totals_by_id.end(); ++it) {
+    out << it->first << '\n';
+  }
+}

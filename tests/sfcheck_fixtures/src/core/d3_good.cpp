@@ -1,0 +1,16 @@
+// sfcheck fixture: D3-clean -- keys are sorted before emission.
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+void d3_good(std::ostream& out) {
+  std::unordered_map<int, double> totals_by_key;
+  totals_by_key[3] = 1.5;
+  std::vector<std::pair<int, double>> rows(totals_by_key.begin(),
+                                           totals_by_key.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [key, total] : rows) {
+    out << key << ',' << total << '\n';
+  }
+}

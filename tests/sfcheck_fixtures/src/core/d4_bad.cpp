@@ -1,0 +1,7 @@
+// sfcheck fixture: D4 violation (naked ofstream outside the helpers).
+#include <fstream>
+
+void d4_bad(const char* path) {
+  std::ofstream out(path);
+  out << "partial";
+}

@@ -1,0 +1,9 @@
+// sfcheck fixture: D4-clean write through the torn-write-safe helper.
+#include <ostream>
+#include <string>
+
+#include "util/file_io.hpp"
+
+void d4_good(const std::string& path) {
+  sf::write_file_atomic(path, [](std::ostream& out) { out << "row\n"; });
+}

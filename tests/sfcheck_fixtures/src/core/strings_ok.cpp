@@ -1,0 +1,8 @@
+// sfcheck fixture: banned names inside literals and comments are fine.
+// A comment mentioning rand() or std::system_clock must not fire.
+#include <string>
+
+std::string strings_ok() {
+  const char* msg = "call rand() or time(nullptr) at your peril";
+  return std::string(msg) + "std::ofstream and unordered_map<int,int> here";
+}

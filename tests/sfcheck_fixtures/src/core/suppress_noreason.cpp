@@ -1,0 +1,8 @@
+// sfcheck fixture: a suppression without a reason is itself an error
+// and silences nothing.
+#include <fstream>
+
+void suppress_noreason(const char* path) {
+  std::ofstream raw(path);  // sfcheck:allow(D4)
+  raw << 1;
+}

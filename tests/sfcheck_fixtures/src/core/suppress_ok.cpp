@@ -1,0 +1,7 @@
+// sfcheck fixture: a reasoned suppression silences the diagnostic.
+#include <fstream>
+
+void suppress_ok(const char* path) {
+  std::ofstream raw(path);  // sfcheck:allow(D4): fixture demonstrating a reasoned suppression
+  raw << 1;
+}

@@ -1,0 +1,3 @@
+// sfcheck fixture: one half of an equal-rank include cycle.
+#pragma once
+#include "sim/cycle_b.hpp"

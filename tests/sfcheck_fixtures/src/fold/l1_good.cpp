@@ -1,0 +1,3 @@
+// sfcheck fixture: L1-clean downward includes (fold sits above bio).
+#include "bio/sequence.hpp"
+#include "util/rng.hpp"

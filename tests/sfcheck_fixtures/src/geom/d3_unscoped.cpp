@@ -1,0 +1,12 @@
+// sfcheck fixture: unordered iteration in a module that emits no
+// deterministic artifacts (geom is outside the D3 scope) -- clean.
+#include <ostream>
+#include <unordered_map>
+
+void d3_unscoped(std::ostream& out) {
+  std::unordered_map<int, int> grid_cells;
+  grid_cells[1] = 2;
+  for (const auto& [cell, count] : grid_cells) {
+    out << cell + count;
+  }
+}

@@ -1,0 +1,3 @@
+// sfcheck fixture: the other half of an equal-rank include cycle.
+#pragma once
+#include "fold/cycle_a.hpp"

@@ -1,0 +1,237 @@
+// sfcheck's own test bed: fixture snippets with known-good and
+// known-bad code per rule, checked for *exact* diagnostics (rule,
+// file, line) and for suppression semantics. The fixtures live under
+// tests/sfcheck_fixtures/ in a miniature src/ tree so path-based
+// scoping (modules, D3 scope, layer ranks) is exercised for real.
+#include "sfcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using sf::lint::Config;
+using sf::lint::ScanResult;
+using sf::lint::SourceFile;
+
+SourceFile load_fixture(const std::string& rel) {
+  const std::filesystem::path p = std::filesystem::path(SFCHECK_FIXTURE_DIR) / rel;
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return {rel, ss.str()};
+}
+
+ScanResult scan(std::initializer_list<std::string> rels) {
+  std::vector<SourceFile> files;
+  for (const auto& r : rels) files.push_back(load_fixture(r));
+  return sf::lint::run(files, Config::project_default());
+}
+
+void expect_diag(const ScanResult& r, std::size_t i, const std::string& file, int line,
+                 const std::string& rule) {
+  ASSERT_LT(i, r.diagnostics.size());
+  EXPECT_EQ(r.diagnostics[i].file, file);
+  EXPECT_EQ(r.diagnostics[i].line, line);
+  EXPECT_EQ(r.diagnostics[i].rule, rule);
+}
+
+TEST(Sfcheck, D1FlagsRandRandomDeviceAndUnseededMt19937) {
+  const auto r = scan({"src/core/d1_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 3u);
+  expect_diag(r, 0, "src/core/d1_bad.cpp", 6, "D1");
+  expect_diag(r, 1, "src/core/d1_bad.cpp", 7, "D1");
+  expect_diag(r, 2, "src/core/d1_bad.cpp", 8, "D1");
+  EXPECT_NE(r.diagnostics[0].message.find("rand()"), std::string::npos);
+  EXPECT_NE(r.diagnostics[1].message.find("random_device"), std::string::npos);
+  EXPECT_NE(r.diagnostics[2].message.find("unseeded"), std::string::npos);
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(Sfcheck, D1AllowsSeededEnginesAndSfRng) {
+  const auto r = scan({"src/core/d1_good.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D1ExemptsTheRngHome) {
+  // The same bad content is legal inside src/util/rng.*.
+  auto bad = load_fixture("src/core/d1_bad.cpp");
+  bad.path = "src/util/rng.cpp";
+  const auto r = sf::lint::run({bad}, Config::project_default());
+  for (const auto& d : r.diagnostics) EXPECT_NE(d.rule, "D1") << d.message;
+}
+
+TEST(Sfcheck, D2FlagsSystemClockAndTimeCalls) {
+  const auto r = scan({"src/core/d2_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  expect_diag(r, 0, "src/core/d2_bad.cpp", 6, "D2");
+  expect_diag(r, 1, "src/core/d2_bad.cpp", 7, "D2");
+}
+
+TEST(Sfcheck, D2IgnoresLookalikeIdentifiers) {
+  const auto r = scan({"src/core/d2_good.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D3FlagsRangeForAndIteratorWalks) {
+  const auto r = scan({"src/core/d3_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  expect_diag(r, 0, "src/core/d3_bad.cpp", 8, "D3");
+  expect_diag(r, 1, "src/core/d3_bad.cpp", 11, "D3");
+  EXPECT_NE(r.diagnostics[0].message.find("totals_by_id"), std::string::npos);
+}
+
+TEST(Sfcheck, D3AllowsSortKeysFirstPattern) {
+  const auto r = scan({"src/core/d3_good.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D3OnlyAppliesToDeterministicOutputModules) {
+  const auto r = scan({"src/geom/d3_unscoped.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D3SeesMembersDeclaredInTheModuleHeader) {
+  // A member declared unordered in the .hpp is tracked when the .cpp of
+  // the same module iterates it.
+  SourceFile hpp{"src/core/widget.hpp",
+                 "#pragma once\n#include <unordered_map>\n"
+                 "struct W { std::unordered_map<int, int> by_id_; };\n"};
+  SourceFile cpp{"src/core/widget.cpp",
+                 "#include \"core/widget.hpp\"\n"
+                 "int sum(const W& w) {\n"
+                 "  int s = 0;\n"
+                 "  for (const auto& [k, v] : w.by_id_) s += v;\n"
+                 "  return s;\n"
+                 "}\n"};
+  const auto r = sf::lint::run({hpp, cpp}, Config::project_default());
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].file, "src/core/widget.cpp");
+  EXPECT_EQ(r.diagnostics[0].line, 4);
+  EXPECT_EQ(r.diagnostics[0].rule, "D3");
+}
+
+TEST(Sfcheck, D4FlagsNakedOfstream) {
+  const auto r = scan({"src/core/d4_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/core/d4_bad.cpp", 5, "D4");
+}
+
+TEST(Sfcheck, D4AllowsAtomicHelperAndJournal) {
+  const auto good = scan({"src/core/d4_good.cpp"});
+  EXPECT_TRUE(good.diagnostics.empty());
+  // The helper itself and the journal are the sanctioned homes.
+  auto bad = load_fixture("src/core/d4_bad.cpp");
+  bad.path = "src/util/file_io.cpp";
+  const auto helper = sf::lint::run({bad}, Config::project_default());
+  EXPECT_TRUE(helper.diagnostics.empty());
+  bad.path = "src/core/journal.cpp";
+  const auto journal = sf::lint::run({bad}, Config::project_default());
+  EXPECT_TRUE(journal.diagnostics.empty());
+}
+
+TEST(Sfcheck, L1FlagsUpwardInclude) {
+  const auto r = scan({"src/bio/l1_bad.hpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/bio/l1_bad.hpp", 3, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("'bio'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("'geom'"), std::string::npos);
+}
+
+TEST(Sfcheck, L1AllowsDownwardIncludes) {
+  const auto r = scan({"src/fold/l1_good.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, L1DetectsEqualRankCycles) {
+  const auto r = scan({"src/fold/cycle_a.hpp", "src/sim/cycle_b.hpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].file, "(include-graph)");
+  EXPECT_EQ(r.diagnostics[0].line, 0);
+  EXPECT_EQ(r.diagnostics[0].rule, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("fold -> sim -> fold"), std::string::npos);
+}
+
+TEST(Sfcheck, SuppressionWithReasonSilencesAndIsReported) {
+  const auto r = scan({"src/core/suppress_ok.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].file, "src/core/suppress_ok.cpp");
+  EXPECT_EQ(r.suppressed[0].line, 5);
+  EXPECT_EQ(r.suppressed[0].rule, "D4");
+  EXPECT_EQ(r.suppressed[0].reason, "fixture demonstrating a reasoned suppression");
+}
+
+TEST(Sfcheck, SuppressionWithoutReasonFailsAndSilencesNothing) {
+  const auto r = scan({"src/core/suppress_noreason.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  expect_diag(r, 0, "src/core/suppress_noreason.cpp", 6, "D4");
+  expect_diag(r, 1, "src/core/suppress_noreason.cpp", 6, "SUP");
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(Sfcheck, SuppressionOnlySilencesTheNamedRule) {
+  SourceFile f{"src/core/wrong_rule.cpp",
+               "#include <fstream>\n"
+               "void f(const char* p) {\n"
+               "  std::ofstream out(p);  // sfcheck:allow(D1): wrong rule named\n"
+               "}\n"};
+  const auto r = sf::lint::run({f}, Config::project_default());
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "D4");
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(Sfcheck, LiteralsAndCommentsNeverFire) {
+  const auto r = scan({"src/core/strings_ok.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, WholeFixtureTreeCounts) {
+  const auto r = scan({
+      "src/bio/l1_bad.hpp", "src/core/d1_bad.cpp", "src/core/d1_good.cpp",
+      "src/core/d2_bad.cpp", "src/core/d2_good.cpp", "src/core/d3_bad.cpp",
+      "src/core/d3_good.cpp", "src/core/d4_bad.cpp", "src/core/d4_good.cpp",
+      "src/core/strings_ok.cpp", "src/core/suppress_noreason.cpp",
+      "src/core/suppress_ok.cpp", "src/fold/cycle_a.hpp", "src/fold/l1_good.cpp",
+      "src/geom/d3_unscoped.cpp", "src/sim/cycle_b.hpp",
+  });
+  // 3 D1 + 2 D2 + 2 D3 + 2 D4 + 1 SUP + 1 L1 include + 1 L1 cycle.
+  EXPECT_EQ(r.diagnostics.size(), 12u);
+  EXPECT_EQ(r.suppressed.size(), 1u);
+  // Ordered by (file, line, rule): the include-graph cycle sorts first.
+  EXPECT_EQ(r.diagnostics[0].file, "(include-graph)");
+}
+
+TEST(Sfcheck, PathScoping) {
+  EXPECT_TRUE(sf::lint::is_scanned_path("src/core/pipeline.cpp"));
+  EXPECT_TRUE(sf::lint::is_scanned_path("tools/sfcheck/main.cpp"));
+  EXPECT_TRUE(sf::lint::is_scanned_path("examples/quickstart.cpp"));
+  EXPECT_FALSE(sf::lint::is_scanned_path("tests/test_rng.cpp"));
+  EXPECT_FALSE(sf::lint::is_scanned_path("bench/bench_micro.cpp"));
+  EXPECT_FALSE(sf::lint::is_scanned_path("src/core/notes.md"));
+  EXPECT_EQ(sf::lint::module_of("src/geom/vec3.hpp"), "geom");
+  EXPECT_EQ(sf::lint::module_of("tools/sfcheck/main.cpp"), "");
+  EXPECT_EQ(sf::lint::module_of("src/CMakeLists.txt"), "");
+}
+
+TEST(Sfcheck, RendersTextAndJson) {
+  const auto r = scan({"src/core/d4_bad.cpp"});
+  const std::string text = sf::lint::render_text(r);
+  EXPECT_NE(text.find("src/core/d4_bad.cpp:5: error: [D4]"), std::string::npos);
+  EXPECT_NE(text.find("1 violation(s)"), std::string::npos);
+  const std::string json = sf::lint::render_json(r);
+  EXPECT_NE(json.find("\"rule\":\"D4\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,651 @@
+#include "sfcheck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace sf::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexing: strip comments and literals, harvest suppressions + includes.
+// ---------------------------------------------------------------------
+
+struct Suppression {
+  std::set<std::string> rules;
+  std::string reason;
+};
+
+struct CleanFile {
+  // Cleaned text, one entry per source line: comments, string literals
+  // and char literals replaced by spaces (line structure preserved).
+  std::vector<std::string> lines;
+  // line -> reasoned allow() found in a // comment on that line.
+  std::map<int, Suppression> allows;
+  // Lines carrying an allow() with an empty reason (SUP violations).
+  std::vector<int> allows_missing_reason;
+  // (line, target) of every #include "..." outside comments.
+  std::vector<std::pair<int, std::string>> includes;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parse `sfcheck:allow(D1,D2): reason` out of one // comment.
+void parse_allow(const std::string& comment, int line, CleanFile& out) {
+  const std::string kMarker = "sfcheck:allow(";
+  const auto at = comment.find(kMarker);
+  if (at == std::string::npos) return;
+  const auto open = at + kMarker.size();
+  const auto close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  Suppression sup;
+  std::string rule;
+  for (std::size_t i = open; i <= close; ++i) {
+    if (i == close || comment[i] == ',') {
+      const std::string r = trim(rule);
+      if (!r.empty()) sup.rules.insert(r);
+      rule.clear();
+    } else {
+      rule += comment[i];
+    }
+  }
+  std::size_t rest = close + 1;
+  if (rest < comment.size() && comment[rest] == ':') {
+    sup.reason = trim(comment.substr(rest + 1));
+  }
+  if (sup.rules.empty()) return;
+  if (sup.reason.empty()) {
+    out.allows_missing_reason.push_back(line);
+    return;  // a reasonless allow suppresses nothing
+  }
+  out.allows[line] = std::move(sup);
+}
+
+CleanFile clean_source(const std::string& content) {
+  CleanFile out;
+  enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
+  State state = State::Code;
+  std::string raw_delim;      // raw-string terminator, e.g. )foo"
+  std::string line;           // cleaned current line
+  std::string raw_line;       // untouched current line
+  std::string comment;        // text of the current // comment
+  int lineno = 1;
+  bool line_starts_in_block = false;
+
+  auto flush_line = [&] {
+    if (state == State::LineComment) {
+      parse_allow(comment, lineno, out);
+      comment.clear();
+      state = State::Code;
+    }
+    // #include "..." never spans lines; harvest it from the raw text
+    // when the line is not swallowed by a block comment.
+    if (!line_starts_in_block) {
+      const std::string t = trim(raw_line);
+      if (!t.empty() && t[0] == '#') {
+        const auto inc = t.find("include");
+        if (inc != std::string::npos) {
+          const auto q0 = t.find('"', inc);
+          if (q0 != std::string::npos) {
+            const auto q1 = t.find('"', q0 + 1);
+            if (q1 != std::string::npos) {
+              out.includes.emplace_back(lineno, t.substr(q0 + 1, q1 - q0 - 1));
+            }
+          }
+        }
+      }
+    }
+    out.lines.push_back(line);
+    line.clear();
+    raw_line.clear();
+    ++lineno;
+    line_starts_in_block = state == State::BlockComment;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char n = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    raw_line += c;
+    switch (state) {
+      case State::Code:
+        if (c == '/' && n == '/') {
+          state = State::LineComment;
+          line += "  ";
+          raw_line += n;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          state = State::BlockComment;
+          line += "  ";
+          raw_line += n;
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   !(i > 0 && (std::isalnum(static_cast<unsigned char>(content[i - 1])) ||
+                               content[i - 1] == '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < content.size() && content[j] != '(') delim += content[j++];
+          raw_delim = ")" + delim + "\"";
+          state = State::RawStr;
+          line += "  ";
+          raw_line += n;
+          i = j;  // consume through the opening '('
+        } else if (c == '"') {
+          state = State::Str;
+          line += ' ';
+        } else if (c == '\'') {
+          state = State::Chr;
+          line += ' ';
+        } else {
+          line += c;
+        }
+        break;
+      case State::LineComment:
+        comment += c;
+        line += ' ';
+        break;
+      case State::BlockComment:
+        line += ' ';
+        if (c == '*' && n == '/') {
+          state = State::Code;
+          line += ' ';
+          raw_line += n;
+          ++i;
+        }
+        break;
+      case State::Str:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          raw_line += n;
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        }
+        break;
+      case State::Chr:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          raw_line += n;
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        }
+        break;
+      case State::RawStr:
+        line += ' ';
+        if (c == raw_delim[0] && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            raw_line += content[i + k];
+            line += ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || !line.empty() || out.lines.empty()) flush_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const CleanFile& cf) {
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < cf.lines.size(); ++li) {
+    const std::string& s = cf.lines[li];
+    const int line = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < s.size() && is_ident_char(s[j])) ++j;
+        toks.push_back({s.substr(i, j - i), line});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i + 1;
+        while (j < s.size() && (is_ident_char(s[j]) || s[j] == '.')) ++j;
+        toks.push_back({s.substr(i, j - i), line});
+        i = j;
+      } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        toks.push_back({"::", line});
+        i += 2;
+      } else {
+        toks.push_back({std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  static const std::string kEmpty;
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+// Skip a balanced <...> starting at t[i] == "<"; returns the index just
+// past the matching ">". Returns i unchanged if t[i] is not "<".
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  if (tok(t, i) != "<") return i;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    else if (t[i].text == ">") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return i;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+void rule_d1(const std::string& path, const std::vector<Token>& t, const Config& cfg,
+             std::vector<Finding>& out) {
+  if (starts_with(path, cfg.rng_home)) return;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if ((s == "rand" || s == "srand") && tok(t, i + 1) == "(") {
+      const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
+      if (prev == "." || prev == "->") continue;  // member named rand
+      out.push_back({path, t[i].line, "D1",
+                     "call to " + s + "(); use sf::Rng (util/rng.hpp) seeded streams"});
+    } else if (s == "random_device") {
+      out.push_back({path, t[i].line, "D1",
+                     "std::random_device is nondeterministic; derive seeds with "
+                     "sf::Rng::split or sf::stable_hash64"});
+    } else if (s == "mt19937" || s == "mt19937_64") {
+      // Unseeded forms: `mt19937 g;`, `mt19937()`, `mt19937{}`.
+      const std::string& n1 = tok(t, i + 1);
+      bool unseeded = false;
+      if (n1 == "(" || n1 == "{") {
+        const std::string closer = n1 == "(" ? ")" : "}";
+        unseeded = tok(t, i + 2) == closer;
+      } else if (is_ident_start(n1.empty() ? ' ' : n1[0])) {
+        const std::string& n2 = tok(t, i + 2);
+        unseeded = n2 != "(" && n2 != "{";
+      }
+      if (unseeded) {
+        out.push_back({path, t[i].line, "D1",
+                       "unseeded std::" + s + "; all RNG must flow through sf::Rng "
+                       "(util/rng.hpp)"});
+      }
+    }
+  }
+}
+
+void rule_d2(const std::string& path, const std::vector<Token>& t, std::vector<Finding>& out) {
+  static const std::set<std::string> kClockTypes = {"system_clock", "steady_clock",
+                                                    "high_resolution_clock"};
+  static const std::set<std::string> kClockCalls = {
+      "time",      "clock",        "ctime",         "localtime", "gmtime",
+      "strftime",  "difftime",     "timespec_get",  "mktime",    "gettimeofday",
+      "clock_gettime"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (kClockTypes.count(s)) {
+      out.push_back({path, t[i].line, "D2",
+                     "wall-clock type std::chrono::" + s +
+                         "; deterministic code must use simulated time (sim/)"});
+    } else if (kClockCalls.count(s) && tok(t, i + 1) == "(") {
+      const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
+      if (prev == "." || prev == "->") continue;  // member named time()/clock()
+      out.push_back({path, t[i].line, "D2",
+                     "wall-clock call " + s + "(); deterministic code must use "
+                     "simulated time (sim/)"});
+    }
+  }
+}
+
+bool is_unordered_container(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+         s == "unordered_multiset";
+}
+
+// Pass A: every variable declared with an unordered container type,
+// keyed by module (so members declared in headers are seen from the
+// sibling .cpp).
+void collect_unordered_vars(const std::vector<Token>& t, std::set<std::string>& vars) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_unordered_container(t[i].text)) continue;
+    std::size_t j = skip_angles(t, i + 1);
+    if (j == i + 1) continue;  // no template args: using-decl or include
+    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
+    const std::string& name = tok(t, j);
+    if (!name.empty() && is_ident_start(name[0])) vars.insert(name);
+  }
+}
+
+// Pass B: iteration statements over a known-unordered variable. Both
+// `for (x : m)` and iterator-style `for (auto it = m.begin(); ...)` are
+// flagged; a bulk copy like `std::vector v(m.begin(), m.end())` outside
+// a for-header is NOT -- copying into an ordered container and sorting
+// is exactly the sanctioned fix.
+void rule_d3(const std::string& path, const std::vector<Token>& t,
+             const std::set<std::string>& vars, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
+    // Walk the for-header; note the top-level ':' (range-for) or ';'
+    // (classic for) and the matching ')'.
+    int depth = 0;
+    std::size_t colon = 0;
+    bool classic = false;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") {
+        if (--depth == 0 && s == ")") {
+          close = j;
+          break;
+        }
+      } else if (s == ":" && depth == 1 && colon == 0 && !classic) {
+        colon = j;
+      } else if (s == ";" && depth == 1) {
+        classic = true;
+      }
+    }
+    if (close == 0) continue;
+    if (!classic && colon != 0) {
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (vars.count(t[j].text)) {
+          out.push_back({path, t[i].line, "D3",
+                         "iteration over unordered container '" + t[j].text +
+                             "' feeds deterministic output; sort keys into an ordered "
+                             "container first"});
+          break;
+        }
+      }
+    } else if (classic) {
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (vars.count(t[j].text) && tok(t, j + 1) == "." &&
+            (tok(t, j + 2) == "begin" || tok(t, j + 2) == "cbegin") && tok(t, j + 3) == "(") {
+          out.push_back({path, t[i].line, "D3",
+                         "iterator walk of unordered container '" + t[j].text +
+                             "' feeds deterministic output; sort keys into an ordered "
+                             "container first"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void rule_d4(const std::string& path, const std::vector<Token>& t, const Config& cfg,
+             std::vector<Finding>& out) {
+  for (const auto& prefix : cfg.d4_allowed_prefixes) {
+    if (starts_with(path, prefix)) return;
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "ofstream") {
+      out.push_back({path, t[i].line, "D4",
+                     "naked std::ofstream; use the torn-write-safe helpers in "
+                     "util/file_io.hpp (or the journal's guarded appender)"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+Config Config::project_default() {
+  Config cfg;
+  cfg.layer_rank = {
+      {"util", 0},
+      {"bio", 1},
+      {"geom", 2}, {"relax", 2}, {"score", 2}, {"seqsearch", 2}, {"fold", 2}, {"sim", 2},
+      {"dataflow", 3}, {"analysis", 3},
+      {"core", 4},
+  };
+  cfg.d3_modules = {"core", "dataflow", "util", "seqsearch"};
+  cfg.d4_allowed_prefixes = {"src/util/file_io", "src/core/journal"};
+  cfg.rng_home = "src/util/rng";
+  return cfg;
+}
+
+bool is_scanned_path(const std::string& relpath) {
+  const bool cc = relpath.size() > 4 && (relpath.compare(relpath.size() - 4, 4, ".cpp") == 0 ||
+                                         relpath.compare(relpath.size() - 4, 4, ".hpp") == 0);
+  if (!cc) return false;
+  return starts_with(relpath, "src/") || starts_with(relpath, "tools/") ||
+         starts_with(relpath, "examples/");
+}
+
+std::string module_of(const std::string& relpath) {
+  if (!starts_with(relpath, "src/")) return "";
+  const auto slash = relpath.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return relpath.substr(4, slash - 4);
+}
+
+ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
+  std::vector<Finding> findings;
+  std::map<std::string, CleanFile> cleaned;
+  std::map<std::string, std::vector<Token>> tokens;
+  for (const auto& f : files) {
+    cleaned[f.path] = clean_source(f.content);
+    tokens[f.path] = tokenize(cleaned[f.path]);
+  }
+
+  // D3 pass A: unordered variable names per module (headers included).
+  std::map<std::string, std::set<std::string>> unordered_vars;
+  for (const auto& f : files) {
+    const std::string mod = module_of(f.path);
+    const std::string key = mod.empty() ? f.path : mod;
+    collect_unordered_vars(tokens[f.path], unordered_vars[key]);
+  }
+  const std::set<std::string> d3_scope(cfg.d3_modules.begin(), cfg.d3_modules.end());
+
+  // Include graph for the cycle check (every observed edge, even ones
+  // already reported as rank violations or suppressed inline).
+  std::map<std::string, std::set<std::string>> graph;
+
+  for (const auto& f : files) {
+    const auto& t = tokens[f.path];
+    const std::string mod = module_of(f.path);
+    rule_d1(f.path, t, cfg, findings);
+    rule_d2(f.path, t, findings);
+    if (d3_scope.count(mod)) rule_d3(f.path, t, unordered_vars[mod], findings);
+    rule_d4(f.path, t, cfg, findings);
+
+    // L1 rank check (src/ modules only; tools/examples are unlayered).
+    const auto rank_it = cfg.layer_rank.find(mod);
+    if (rank_it != cfg.layer_rank.end()) {
+      for (const auto& [line, target] : cleaned[f.path].includes) {
+        const auto slash = target.find('/');
+        if (slash == std::string::npos) continue;
+        const std::string dst = target.substr(0, slash);
+        const auto dst_it = cfg.layer_rank.find(dst);
+        if (dst_it == cfg.layer_rank.end() || dst == mod) continue;
+        graph[mod].insert(dst);
+        if (dst_it->second > rank_it->second) {
+          std::ostringstream msg;
+          msg << "layering: '" << mod << "' (rank " << rank_it->second << ") must not include '"
+              << target << "' from higher layer '" << dst << "' (rank " << dst_it->second << ")";
+          findings.push_back({f.path, line, "L1", msg.str()});
+        }
+      }
+    }
+  }
+
+  // Cycle check over the observed module graph (DFS, deterministic
+  // order; one diagnostic per distinct back-edge cycle).
+  {
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::vector<Finding>* out = &findings;
+    auto dfs = [&](auto&& self, const std::string& m) -> void {
+      color[m] = 1;
+      stack.push_back(m);
+      for (const auto& nxt : graph[m]) {
+        if (color[nxt] == 1) {
+          std::ostringstream msg;
+          msg << "layering: include cycle ";
+          bool in_cycle = false;
+          for (const auto& s : stack) {
+            if (s == nxt) in_cycle = true;
+            if (in_cycle) msg << s << " -> ";
+          }
+          msg << nxt;
+          if (reported.insert(msg.str()).second) {
+            out->push_back({"(include-graph)", 0, "L1", msg.str()});
+          }
+        } else if (color[nxt] == 0) {
+          self(self, nxt);
+        }
+      }
+      stack.pop_back();
+      color[m] = 2;
+    };
+    for (const auto& [m, _] : graph) {
+      if (color[m] == 0) dfs(dfs, m);
+    }
+  }
+
+  // SUP: reasonless allow() comments.
+  for (const auto& f : files) {
+    for (int line : cleaned[f.path].allows_missing_reason) {
+      findings.push_back({f.path, line, "SUP",
+                          "sfcheck:allow() requires a reason: "
+                          "// sfcheck:allow(RULE): why this is safe"});
+    }
+  }
+
+  // Apply suppressions.
+  ScanResult result;
+  for (auto& fd : findings) {
+    const auto cf = cleaned.find(fd.file);
+    bool suppressed = false;
+    std::string reason;
+    if (cf != cleaned.end() && fd.rule != "SUP") {
+      const auto sup = cf->second.allows.find(fd.line);
+      if (sup != cf->second.allows.end() && sup->second.rules.count(fd.rule)) {
+        suppressed = true;
+        reason = sup->second.reason;
+      }
+    }
+    Diagnostic d{fd.file, fd.line, fd.rule, fd.message, reason};
+    (suppressed ? result.suppressed : result.diagnostics).push_back(std::move(d));
+  }
+
+  auto order = [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  };
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(), order);
+  std::sort(result.suppressed.begin(), result.suppressed.end(), order);
+  return result;
+}
+
+std::string render_text(const ScanResult& result) {
+  std::ostringstream out;
+  for (const auto& d : result.diagnostics) {
+    out << d.file << ':' << d.line << ": error: [" << d.rule << "] " << d.message << '\n';
+  }
+  if (result.diagnostics.empty()) {
+    out << "sfcheck: clean (" << result.suppressed.size() << " suppressed)\n";
+  } else {
+    out << "sfcheck: " << result.diagnostics.size() << " violation(s), "
+        << result.suppressed.size() << " suppressed\n";
+  }
+  return out.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_diags(std::ostringstream& out, const std::vector<Diagnostic>& ds, bool with_reason) {
+  out << '[';
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& d = ds[i];
+    if (i) out << ',';
+    out << "{\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.line << ",\"rule\":\""
+        << json_escape(d.rule) << "\",\"message\":\"" << json_escape(d.message) << '"';
+    if (with_reason) out << ",\"reason\":\"" << json_escape(d.reason) << '"';
+    out << '}';
+  }
+  out << ']';
+}
+}  // namespace
+
+std::string render_json(const ScanResult& result) {
+  std::ostringstream out;
+  out << "{\"diagnostics\":";
+  json_diags(out, result.diagnostics, false);
+  out << ",\"suppressed\":";
+  json_diags(out, result.suppressed, true);
+  out << ",\"count\":" << result.diagnostics.size() << "}\n";
+  return out.str();
+}
+
+}  // namespace sf::lint

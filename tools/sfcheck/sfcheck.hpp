@@ -1,0 +1,99 @@
+// sfcheck: project-native determinism & layering linter.
+//
+// The repo's core guarantee -- bit-identical chaos replay and
+// kill-at-any-byte campaign resume -- holds only while every code path
+// stays deterministic. sfcheck machine-enforces the invariants that
+// used to live in reviewers' heads:
+//
+//   D1  seeded RNG only: no rand()/srand(), no std::random_device, no
+//       unseeded std::mt19937 outside src/util/rng.* (all randomness
+//       flows through sf::Rng's splittable streams);
+//   D2  no wall-clock reads (system_clock, steady_clock, time(),
+//       clock(), ...) outside bench/ -- simulated time is the only
+//       clock deterministic artifacts may see;
+//   D3  no iteration over std::unordered_map / std::unordered_set in
+//       modules that emit reports, journal records, or CSVs
+//       (src/core, src/dataflow, src/util, src/seqsearch) unless the
+//       keys are sorted into an ordered container first;
+//   D4  no naked std::ofstream outside the torn-write-safe helpers
+//       (src/util/file_io.*, src/core/journal.*) -- a kill mid-write
+//       must never leave a half-valid artifact;
+//   L1  include-graph layering: module ranks form
+//       util <- bio <- {geom, relax, score, seqsearch, fold, sim}
+//            <- {dataflow, analysis} <- core,
+//       includes may only point downward; equal-rank edges are allowed
+//       but the observed module graph must stay acyclic. tests/ and
+//       bench/ are unrestricted (they are not scanned);
+//   SUP suppressions must carry a reason: an inline
+//       `// sfcheck:allow(RULE): reason` with an empty reason is
+//       itself a violation (and suppresses nothing).
+//
+// A diagnostic on line N is silenced by a comment on that same line:
+//   std::ofstream raw(p);  // sfcheck:allow(D4): doc example, never shipped
+// Multiple rules may share one comment: sfcheck:allow(D2,D4): reason.
+//
+// The scanner is a lexer, not a compiler: comments, string literals and
+// char literals are stripped before token rules run, so banned names
+// inside strings or comments never fire. That keeps sfcheck dependency
+// free (no libclang) and fast enough to run as a ctest on every build.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sf::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;          // 1-based; 0 for whole-graph diagnostics
+  std::string rule;      // "D1".."D4", "L1", "SUP"
+  std::string message;
+  std::string reason;    // suppression reason (suppressed entries only)
+};
+
+// One file presented to the scanner. `path` is repo-relative with '/'
+// separators; it drives all scoping decisions (module, exemptions).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Config {
+  // Module -> layer rank. An include edge a -> b requires
+  // rank[b] <= rank[a]; equal-rank cross-module edges are legal but the
+  // full observed module graph must be acyclic.
+  std::map<std::string, int> layer_rank;
+  // Modules whose emitted artifacts must be order-deterministic (D3).
+  std::vector<std::string> d3_modules;
+  // Path prefixes allowed to hold a raw std::ofstream (D4).
+  std::vector<std::string> d4_allowed_prefixes;
+  // Path prefix exempt from D1 (the seeded-RNG home).
+  std::string rng_home = "src/util/rng";
+
+  // The summitfold tree's own layout and rules.
+  static Config project_default();
+};
+
+struct ScanResult {
+  std::vector<Diagnostic> diagnostics;  // violations (fail the build)
+  std::vector<Diagnostic> suppressed;   // silenced by a reasoned allow()
+};
+
+// True for files sfcheck lints: .cpp/.hpp under src/, tools/ or
+// examples/. tests/ and bench/ are deliberately unrestricted.
+bool is_scanned_path(const std::string& relpath);
+
+// "src/geom/vec3.hpp" -> "geom"; "" for files outside src/.
+std::string module_of(const std::string& relpath);
+
+// Run every rule over `files` (paths repo-relative). Deterministic:
+// diagnostics are ordered by (file, line, rule).
+ScanResult run(const std::vector<SourceFile>& files, const Config& cfg);
+
+// `file:line: error: [RULE] message` lines plus a summary tail.
+std::string render_text(const ScanResult& result);
+// Machine-readable report: {"diagnostics":[...],"suppressed":[...]}.
+std::string render_json(const ScanResult& result);
+
+}  // namespace sf::lint
