@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/file_io.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 
@@ -111,6 +112,43 @@ std::string report_fields(const StageReport& r) {
   return ss.str();
 }
 
+// Line serializers shared by the record_* appenders and the
+// compact-on-open rewrite, so a compacted journal is byte-identical to
+// one that had been written clean in the first place.
+std::string header_line(std::uint64_t fingerprint) {
+  return std::string("sfjournal v1 ") +
+         format("%llx", static_cast<unsigned long long>(fingerprint)) + " end";
+}
+
+std::string measured_line(const JournalMeasuredRow& row) {
+  std::ostringstream ss;
+  ss << "measured " << row.index << ' ' << row.top_model << ' ' << num(row.plddt) << ' '
+     << num(row.ptms) << ' ' << num(row.true_tm) << ' ' << num(row.true_lddt) << ' '
+     << row.recycles << ' ' << (row.converged ? 1 : 0) << ' ' << (row.dropped ? 1 : 0);
+  for (int m = 0; m < 5; ++m) ss << ' ' << row.passes[m];
+  ss << ' ' << row.oom_mask << ' ' << row.conv_mask << " end";
+  return ss.str();
+}
+
+std::string relaxed_line(const JournalRelaxRow& row) {
+  std::ostringstream ss;
+  ss << "relaxed " << row.index << ' ' << row.clashes_before << ' ' << row.clashes_after << ' '
+     << row.bumps_before << ' ' << row.bumps_after << ' ' << num(row.heavy_atoms) << ' '
+     << num(row.energy_evaluations) << " end";
+  return ss.str();
+}
+
+std::string trec_line(const TaskRecord& r) {
+  std::ostringstream ss;
+  ss << "trec " << r.task_id << ' ' << sanitize_token(r.name) << ' ' << r.worker << ' '
+     << num(r.start_s) << ' ' << num(r.end_s) << " end";
+  return ss.str();
+}
+
+std::string stage_line(StageKind stage, const StageReport& report) {
+  return std::string("stage ") + stage_token(stage) + ' ' + report_fields(report) + " end";
+}
+
 // Parses the 20 report fields starting at tokens[at]; false on any
 // malformed field.
 bool parse_report(const std::vector<std::string>& tokens, std::size_t at, StageReport& r) {
@@ -168,6 +206,17 @@ bool CampaignJournal::parse_line(const std::string& line) {
     if (measured_by_index_.count(row.index)) return true;  // keep first
     measured_by_index_[row.index] = measured_.size();
     measured_.push_back(row);
+    return true;
+  }
+  if (kind == "trecbatch") {
+    // trecbatch <count> end -- generation marker: the trec lines that
+    // follow supersede any earlier batch, so a rerun that re-records
+    // its timeline never splices two batches together. The superseded
+    // lines themselves are dropped by the compact-on-open rewrite.
+    if (tokens.size() != 3) return false;
+    std::size_t count = 0;
+    if (!to_size(tokens[1], count)) return false;
+    task_records_.clear();
     return true;
   }
   if (kind == "trec") {
@@ -230,11 +279,18 @@ bool CampaignJournal::open(std::uint64_t fingerprint) {
   task_records_.clear();
   for (auto& r : reports_) r.reset();
 
+  std::string raw;
   std::vector<std::string> lines;
   {
     std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    raw = ss.str();
+  }
+  {
+    std::istringstream in(raw);
     std::string line;
-    while (in && std::getline(in, line)) lines.push_back(line);
+    while (std::getline(in, line)) lines.push_back(line);
   }
 
   bool valid_header = false;
@@ -258,17 +314,28 @@ bool CampaignJournal::open(std::uint64_t fingerprint) {
   const bool drop_trecs = !stage_complete(StageKind::kInference) && !task_records_.empty();
   if (drop_trecs) task_records_.clear();
 
-  const bool rewrite = !valid_header || good < lines.size() || drop_trecs;
-  if (rewrite) {
-    std::ofstream out(path_, std::ios::trunc);
-    out << "sfjournal v1 " << format("%llx", static_cast<unsigned long long>(fingerprint))
-        << " end\n";
-    if (valid_header) {
-      for (std::size_t i = 1; i < good; ++i) {
-        if (drop_trecs && lines[i].rfind("trec ", 0) == 0) continue;
-        out << lines[i] << '\n';
-      }
-    }
+  // Compact on open: serialize the recovered state back out as its
+  // canonical image -- deduplicated rows in first-seen order, a single
+  // surviving trec batch, sealed stage lines last. This drops torn
+  // tails, superseded batches, and duplicate rows in one pass, so the
+  // file stays bounded across kill/resume cycles; a resumed run parses
+  // the compacted image into exactly the state recovered here. The
+  // rewrite is atomic (util/file_io) and skipped when the file already
+  // matches, so a clean reopen never touches the disk.
+  std::ostringstream canon;
+  canon << header_line(fingerprint) << '\n';
+  for (const auto& row : measured_) canon << measured_line(row) << '\n';
+  for (const auto& row : relaxed_) canon << relaxed_line(row) << '\n';
+  if (!task_records_.empty()) {
+    canon << "trecbatch " << task_records_.size() << " end\n";
+    for (const auto& r : task_records_) canon << trec_line(r) << '\n';
+  }
+  for (int s = 0; s < 3; ++s) {
+    if (reports_[s]) canon << stage_line(static_cast<StageKind>(s), *reports_[s]) << '\n';
+  }
+  const std::string canonical = canon.str();
+  if (canonical != raw) {
+    write_file_atomic(path_, [&](std::ostream& out) { out << canonical; });
   }
   return valid_header && (!measured_.empty() || !relaxed_.empty() ||
                           reports_[0] || reports_[1] || reports_[2]);
@@ -282,40 +349,28 @@ void CampaignJournal::append_line(const std::string& line) {
 
 void CampaignJournal::record_measured(const JournalMeasuredRow& row) {
   if (measured_by_index_.count(row.index)) return;
-  std::ostringstream ss;
-  ss << "measured " << row.index << ' ' << row.top_model << ' ' << num(row.plddt) << ' '
-     << num(row.ptms) << ' ' << num(row.true_tm) << ' ' << num(row.true_lddt) << ' '
-     << row.recycles << ' ' << (row.converged ? 1 : 0) << ' ' << (row.dropped ? 1 : 0);
-  for (int m = 0; m < 5; ++m) ss << ' ' << row.passes[m];
-  ss << ' ' << row.oom_mask << ' ' << row.conv_mask << " end";
-  append_line(ss.str());
+  append_line(measured_line(row));
   measured_by_index_[row.index] = measured_.size();
   measured_.push_back(row);
 }
 
 void CampaignJournal::record_task_records(const std::vector<TaskRecord>& records) {
   std::ofstream out(path_, std::ios::app);
-  for (const auto& r : records) {
-    out << "trec " << r.task_id << ' ' << sanitize_token(r.name) << ' ' << r.worker << ' '
-        << num(r.start_s) << ' ' << num(r.end_s) << " end\n";
-  }
+  out << "trecbatch " << records.size() << " end\n";
+  for (const auto& r : records) out << trec_line(r) << '\n';
   out.flush();
   task_records_ = records;
 }
 
 void CampaignJournal::record_relaxed(const JournalRelaxRow& row) {
   if (relaxed_by_index_.count(row.index)) return;
-  std::ostringstream ss;
-  ss << "relaxed " << row.index << ' ' << row.clashes_before << ' ' << row.clashes_after << ' '
-     << row.bumps_before << ' ' << row.bumps_after << ' ' << num(row.heavy_atoms) << ' '
-     << num(row.energy_evaluations) << " end";
-  append_line(ss.str());
+  append_line(relaxed_line(row));
   relaxed_by_index_[row.index] = relaxed_.size();
   relaxed_.push_back(row);
 }
 
 void CampaignJournal::record_stage_complete(StageKind stage, const StageReport& report) {
-  append_line(std::string("stage ") + stage_token(stage) + ' ' + report_fields(report) + " end");
+  append_line(stage_line(stage, report));
   StageReport copy = report;
   reports_[static_cast<int>(stage)] = std::move(copy);
 }

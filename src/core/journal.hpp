@@ -10,6 +10,14 @@
 // leaves a torn tail that the loader detects and discards -- the
 // journal is valid at every byte prefix.
 //
+// open() also *compacts*: the recovered state is serialized back out as
+// its canonical image (deduplicated rows, one surviving trec batch,
+// sealed stage lines), atomically and only when the on-disk bytes
+// differ. Torn tails, superseded `trecbatch` generations, and duplicate
+// rows are dropped, so the file stays bounded across kill/resume cycles
+// and a resume from the compacted journal is bit-identical to a resume
+// from the raw one.
+//
 // Restore contract (relied on by tests/test_chaos_campaign.cpp):
 //   * a sealed stage is replayed from the journal without touching the
 //     executor (no double billing, byte-identical report);
@@ -72,8 +80,10 @@ class CampaignJournal {
 
   // Load any prior progress for the campaign identified by
   // `fingerprint`. A missing file starts fresh; a fingerprint mismatch
-  // or a torn tail keeps only the valid prefix (the file is rewritten
-  // to that prefix). Returns true when prior progress was recovered.
+  // or a torn tail keeps only the valid prefix. The recovered state is
+  // compacted back to disk (see file comment) when the on-disk bytes
+  // are not already canonical. Returns true when prior progress was
+  // recovered.
   bool open(std::uint64_t fingerprint);
 
   // -- write side (each entry is appended and flushed immediately) --

@@ -62,9 +62,13 @@ class Pipeline {
   // simulated executors (the paper's deployment shape). With a journal,
   // progress checkpoints as it happens and a rerun resumes from the
   // journal's valid prefix, producing a report identical to an
-  // uninterrupted run (see core/journal.hpp for the contract).
+  // uninterrupted run (see core/journal.hpp for the contract). With an
+  // active trace sink, every stage registers its canonical pool shape
+  // and streams per-attempt spans into it (obs/trace.hpp); the report
+  // is unchanged by tracing.
   CampaignReport run(const std::vector<ProteinRecord>& records,
-                     CampaignJournal* journal = nullptr) const;
+                     CampaignJournal* journal = nullptr,
+                     obs::TraceSink* sink = nullptr) const;
 
  private:
   const FoldUniverse* universe_;

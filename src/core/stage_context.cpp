@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace sf {
+
+bool StageContext::tracing() const { return sink != nullptr && sink->active(); }
 
 int stage_nodes(const PipelineConfig& cfg, StageKind stage) {
   switch (stage) {
@@ -37,6 +41,42 @@ SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage
     }
   }
   return SimulatedExecutor::from_pools({}, {"empty", 1, 1, 1.0});
+}
+
+obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage) {
+  obs::StageTraceInfo info;
+  info.dispatch_overhead_s = cfg.dataflow.dispatch_overhead_s;
+  info.startup_s = cfg.dataflow.startup_s;
+  // Same pool choices as make_stage_executor(), expressed as canonical
+  // widths: the recorder replays the schedule from these regardless of
+  // which backend (or thread count) actually executed the map.
+  switch (stage) {
+    case StageKind::kFeatures: {
+      const WorkerPool pool = andes_cpu_pool(stage_nodes(cfg, StageKind::kFeatures));
+      info.stage = "features";
+      info.primary = {pool.workers(), pool.worker_speed};
+      break;
+    }
+    case StageKind::kInference: {
+      const WorkerPool primary = summit_gpu_pool(cfg.summit_nodes);
+      info.stage = "inference";
+      info.primary = {primary.workers(), primary.worker_speed};
+      if (cfg.use_highmem_for_oom) {
+        WorkerPool alt = summit_highmem_pool(cfg.highmem_nodes);
+        if (alt.workers() == 0) alt = {"summit-highmem", 1, 1, 1.0};
+        info.alt = {alt.workers(), alt.worker_speed};
+      }
+      break;
+    }
+    case StageKind::kRelaxation: {
+      WorkerPool pool = summit_gpu_pool(cfg.relax_nodes);
+      if (pool.workers() == 0) pool = {"summit-gpu", 1, 1, 1.0};
+      info.stage = "relaxation";
+      info.primary = {pool.workers(), pool.worker_speed};
+      break;
+    }
+  }
+  return info;
 }
 
 StageReport stage_report_from(const std::string& name, const MapResult& run, int nodes,

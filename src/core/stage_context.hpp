@@ -30,6 +30,11 @@ namespace sf {
 
 class CampaignJournal;  // core/journal.hpp
 
+namespace obs {
+class TraceSink;        // obs/trace.hpp
+struct StageTraceInfo;
+}  // namespace obs
+
 struct PipelineConfig {
   PresetConfig preset = preset_genome();
   LibraryKind library = LibraryKind::kReduced;
@@ -122,9 +127,18 @@ struct StageContext {
   // per-target completion and their final reports so an interrupted
   // campaign resumes without recomputing finished work.
   CampaignJournal* journal = nullptr;
+  // Optional trace sink (obs/trace.hpp): when active, the stage
+  // registers its canonical pool shape and its executor map() streams
+  // per-attempt spans into it. Journal-sealed stages re-run their
+  // (cheap, deterministic) map so a resumed campaign records the same
+  // spans as an uninterrupted one -- reports still replay from the
+  // journal and nothing is journaled twice.
+  obs::TraceSink* sink = nullptr;
 
   // Deterministic per-stage RNG stream derived from the campaign seed.
   Rng stage_rng(std::uint64_t stream) const { return Rng(config.seed, stream); }
+
+  bool tracing() const;
 };
 
 // Per-stage decorrelation streams for the shared campaign FaultPlan.
@@ -143,6 +157,11 @@ int stage_nodes(const PipelineConfig& cfg, StageKind stage);
 // the inference executor carries the high-memory alternate pool used by
 // the OOM RetryPolicy when `use_highmem_for_oom` is set.
 SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage);
+
+// The canonical pool shape of `stage` for the trace recorder -- derived
+// from the same pools make_stage_executor() builds from, so a traced
+// simulated campaign reconciles its accounting against its own spans.
+obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage);
 
 // Summarize one executor map() into the campaign's stage report. Wall
 // clock spans both pools (they run concurrently); node-hours cover the

@@ -1,6 +1,7 @@
 #include "core/stage_features.hpp"
 
 #include "core/journal.hpp"
+#include "obs/trace.hpp"
 
 namespace sf {
 
@@ -15,9 +16,13 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
   // A sealed stage replays from the journal: the executor is never
   // touched (no double billing), and the features themselves -- too
   // heavy to journal -- are recomputed from per-record seeds, which
-  // cannot drift from the original run.
+  // cannot drift from the original run. Under tracing the (cheap,
+  // deterministic) map re-runs so spans match an uninterrupted
+  // campaign; the report still replays from the journal.
   CampaignJournal* journal = ctx.journal;
-  if (journal && journal->stage_complete(StageKind::kFeatures)) {
+  const bool sealed = journal && journal->stage_complete(StageKind::kFeatures);
+  const bool tracing = ctx.tracing();
+  if (sealed && !tracing) {
     for (std::size_t i = 0; i < n; ++i) {
       out.features[i] = sample_features(records[i], cfg.library);
     }
@@ -54,10 +59,15 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
     retry.backoff_base_s = 5.0;
   }
 
-  const MapResult run = ctx.executor.map(tasks, fn, retry, &injector);
-  out.report = stage_report_from("features", run, stage_nodes(cfg, StageKind::kFeatures),
-                                 static_cast<int>(n));
-  if (journal) journal->record_stage_complete(StageKind::kFeatures, out.report);
+  if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kFeatures));
+  const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (sealed) {
+    out.report = *journal->stage_report(StageKind::kFeatures);
+  } else {
+    out.report = stage_report_from("features", run, stage_nodes(cfg, StageKind::kFeatures),
+                                   static_cast<int>(n));
+    if (journal) journal->record_stage_complete(StageKind::kFeatures, out.report);
+  }
   return out;
 }
 

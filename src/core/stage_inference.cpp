@@ -6,6 +6,7 @@
 #include "core/journal.hpp"
 #include "core/recycle_model.hpp"
 #include "fold/memory_model.hpp"
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 
 namespace sf {
@@ -40,6 +41,8 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
   const std::vector<ProteinRecord>& records = ctx.records;
   const std::size_t n = records.size();
   CampaignJournal* journal = ctx.journal;
+  const bool sealed = journal && journal->stage_complete(StageKind::kInference);
+  const bool tracing = ctx.tracing();
 
   InferenceStageResult out;
   out.targets.resize(n);
@@ -71,9 +74,11 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
   out.kept_for_relax.reserve(relax_measured_target);
   // Kept structures only matter while the relaxation stage still has to
   // run; once it is sealed in the journal, journaled targets restore
-  // without touching the engine at all.
+  // without touching the engine at all. Under tracing the relaxation
+  // map re-runs even when sealed, so its fit samples (and therefore
+  // task durations) must come from the same kept structures.
   const bool need_kept_structures =
-      !(journal && journal->stage_complete(StageKind::kRelaxation));
+      tracing || !(journal && journal->stage_complete(StageKind::kRelaxation));
   std::size_t kept_count = 0;  // mirrors the original run's kept quota
 
   for (std::size_t k = 0; k < measured_count; ++k) {
@@ -187,7 +192,9 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
 
   // A sealed inference stage restores its dataflow artifacts verbatim;
   // the map() below never re-runs, so node-hours are billed once.
-  if (journal && journal->stage_complete(StageKind::kInference)) {
+  // Under tracing the map re-runs for its spans, but the report and
+  // task records still replay from the journal.
+  if (sealed && !tracing) {
     out.report = *journal->stage_report(StageKind::kInference);
     out.task_records = journal->inference_task_records();
     return out;
@@ -247,7 +254,13 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     retry.backoff_base_s = 30.0;
   }
 
-  MapResult run = ctx.executor.map(tasks, fn, retry, &injector);
+  if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kInference));
+  MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (sealed) {
+    out.report = *journal->stage_report(StageKind::kInference);
+    out.task_records = journal->inference_task_records();
+    return out;
+  }
   out.report = stage_report_from("inference", run, stage_nodes(cfg, StageKind::kInference),
                                  static_cast<int>(tasks.size()));
   // High-memory reruns bill additional node-hours against their own

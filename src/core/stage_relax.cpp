@@ -4,6 +4,7 @@
 
 #include "bio/amino_acid.hpp"
 #include "core/journal.hpp"
+#include "obs/trace.hpp"
 
 namespace sf {
 namespace {
@@ -27,7 +28,12 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
 
   // A sealed stage replays entirely from the journal: per-target relax
   // outcomes plus the final report, no executor and no minimizer.
-  if (journal && journal->stage_complete(StageKind::kRelaxation)) {
+  // Under tracing the main path runs instead so the map emits its
+  // spans; kept targets reuse their journaled calibration samples, so
+  // every task duration (and therefore the schedule) is unchanged.
+  const bool sealed = journal && journal->stage_complete(StageKind::kRelaxation);
+  const bool tracing = ctx.tracing();
+  if (sealed && !tracing) {
     for (std::size_t i = 0; i < n; ++i) {
       if (const JournalRelaxRow* row = journal->relax_row(i)) apply_relax_row(*row, targets[i]);
     }
@@ -115,11 +121,16 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
     retry.backoff_base_s = 10.0;
   }
 
-  const MapResult run = ctx.executor.map(tasks, fn, retry, &injector);
+  if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kRelaxation));
+  const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
   RelaxStageResult out;
-  out.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),
-                                 static_cast<int>(tasks.size()));
-  if (journal) journal->record_stage_complete(StageKind::kRelaxation, out.report);
+  if (sealed) {
+    out.report = *journal->stage_report(StageKind::kRelaxation);
+  } else {
+    out.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),
+                                   static_cast<int>(tasks.size()));
+    if (journal) journal->record_stage_complete(StageKind::kRelaxation, out.report);
+  }
   return out;
 }
 

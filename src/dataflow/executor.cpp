@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 
 namespace sf {
+namespace {
+
+obs::SpanFault to_span_fault(FaultKind kind, bool intrinsic) {
+  if (intrinsic) return obs::SpanFault::kIntrinsic;
+  switch (kind) {
+    case FaultKind::kNone: return obs::SpanFault::kNone;
+    case FaultKind::kWorkerCrash: return obs::SpanFault::kCrash;
+    case FaultKind::kTransient: return obs::SpanFault::kTransient;
+    case FaultKind::kOom: return obs::SpanFault::kOom;
+    case FaultKind::kStraggler: return obs::SpanFault::kStraggler;
+    case FaultKind::kFsStall: return obs::SpanFault::kFsStall;
+  }
+  return obs::SpanFault::kNone;
+}
+
+}  // namespace
 
 double MapResult::primary_pool_s() const {
   double t = primary.makespan_s;
@@ -27,9 +45,20 @@ double MapResult::alt_pool_s() const {
 double MapResult::wall_s() const { return std::max(primary_pool_s(), alt_pool_s()); }
 
 MapResult Executor::map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
-                        const RetryPolicy& policy, const FaultInjector* faults) {
+                        const RetryPolicy& policy, const FaultInjector* faults,
+                        obs::TraceSink* sink) {
   MapResult out;
   const bool inject = faults != nullptr && faults->active();
+  const bool tracing = sink != nullptr && sink->active();
+
+  // Per-attempt outcomes captured for the sink during the current round
+  // (ordered map: emission walks the batch vector, not this container).
+  struct AttemptCapture {
+    bool ok = true;
+    double duration_s = 0.0;
+    obs::SpanFault fault = obs::SpanFault::kNone;
+  };
+  std::map<std::uint64_t, AttemptCapture> captured;
 
   // The fault-aware wrapper runs on every backend; the threaded backend
   // calls it concurrently, so accounting updates are mutex-guarded.
@@ -43,9 +72,16 @@ MapResult Executor::map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
       const std::lock_guard<std::mutex> lock(acct_mutex);
       ++out.faults.intrinsic_failures;
       out.faults.lost_work_s += o.sim_duration_s;
+      if (tracing) captured[t.id] = {false, o.sim_duration_s, obs::SpanFault::kIntrinsic};
       return o;
     }
-    if (!inject) return o;
+    if (!inject) {
+      if (tracing) {
+        const std::lock_guard<std::mutex> lock(acct_mutex);
+        captured[t.id] = {true, o.sim_duration_s, obs::SpanFault::kNone};
+      }
+      return o;
+    }
     const FaultDecision d = faults->decide(t.id, at);
     const std::lock_guard<std::mutex> lock(acct_mutex);
     switch (d.kind) {
@@ -79,12 +115,43 @@ MapResult Executor::map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
         o.sim_duration_s += d.extra_delay_s;
         break;
     }
+    if (tracing) captured[t.id] = {o.ok, o.sim_duration_s, to_span_fault(d.kind, false)};
     return o;
+  };
+
+  // Stream one round into the sink: the batch vector in submission
+  // order is the canonical event order on every backend (the DES
+  // dispatches queue-head first, the threaded pool collects outcomes by
+  // batch index). `crashed_pre` is the raw pre-round crash count; the
+  // sink clamps it against its canonical width.
+  const auto emit_round = [&](const std::vector<TaskSpec>& batch, int attempt, bool alt,
+                              double backoff_s, int crashed_pre, double cost_scale) {
+    if (!tracing) return;
+    obs::RoundInfo round;
+    round.attempt = attempt;
+    round.alt_pool = alt;
+    round.backoff_s = backoff_s;
+    round.workers_lost = crashed_pre;
+    sink->begin_round(round);
+    for (const TaskSpec& t : batch) {
+      const auto it = captured.find(t.id);
+      if (it == captured.end()) continue;  // fn never ran (cannot happen)
+      obs::AttemptEvent ev;
+      ev.task_id = t.id;
+      ev.name = t.name;
+      ev.ok = it->second.ok;
+      ev.fault = it->second.fault;
+      // Same expression as the simulated backend's duration_of().
+      ev.duration_s = it->second.duration_s * cost_scale;
+      sink->record_attempt(ev);
+    }
+    captured.clear();
   };
 
   std::vector<TaskSpec> failed;
   BatchEnv env;
   out.primary = run_batch(tasks, effective, env, failed);
+  emit_round(tasks, 0, false, 0.0, 0, 1.0);
 
   double scale = 1.0;
   double backoff = policy.backoff_base_s;
@@ -114,17 +181,28 @@ MapResult Executor::map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
     env.pool = alt ? Pool::kAlt : Pool::kPrimary;
     // Crashed workers stay dead: later primary-pool rounds run on the
     // surviving width (at least one worker remains).
-    env.workers_lost =
-        alt ? 0 : std::min(out.faults.crash_attempts, std::max(0, workers() - 1));
+    const int crashed_pre = alt ? 0 : out.faults.crash_attempts;
+    env.workers_lost = std::min(crashed_pre, std::max(0, workers() - 1));
     env.delay_s = round.backoff_s;
 
     round.run = run_batch(batch, effective, env, failed);
+    emit_round(batch, attempt, alt, round.backoff_s, crashed_pre, scale);
     if (alt) out.rerouted_tasks += round.tasks;
     out.retry_attempts += round.tasks;
     out.retries.push_back(std::move(round));
   }
   out.failed_tasks = static_cast<int>(failed.size());
   out.faults.workers_lost = std::min(out.faults.crash_attempts, std::max(0, workers() - 1));
+  if (tracing) {
+    obs::MapAccounting acct;
+    acct.primary_pool_s = out.primary_pool_s();
+    acct.alt_pool_s = out.alt_pool_s();
+    acct.wall_s = out.wall_s();
+    acct.workers = workers();
+    acct.alt_workers = alt_workers();
+    acct.modeled = modeled_time();
+    sink->end_map(acct);
+  }
   return out;
 }
 

@@ -20,6 +20,12 @@
 // Injected failures flow through the same RetryPolicy as intrinsic ones,
 // and MapResult::faults attributes every lost attempt, dilated duration,
 // and dead worker to its fault class.
+//
+// map() also optionally emits into an obs::TraceSink (obs/trace.hpp):
+// the shared retry loop streams per-round, per-attempt events in
+// canonical batch order, so the recorded trace is identical on every
+// backend at any worker count (the sink replays the schedule at its own
+// registered canonical widths; see obs/trace.hpp).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +41,10 @@
 namespace sf {
 
 struct WorkerPool;  // sim/cluster.hpp
+
+namespace obs {
+class TraceSink;  // obs/trace.hpp
+}  // namespace obs
 
 // Which try this is and on which pool it runs.
 struct TaskAttempt {
@@ -98,12 +108,18 @@ class Executor {
   virtual const char* name() const = 0;
   virtual int workers() const = 0;      // primary pool width
   virtual int alt_workers() const = 0;  // alternate pool width (0 = none)
+  // True when records carry modeled (simulated) time rather than wall
+  // clock; the trace recorder only reconciles accounting against
+  // modeled backends.
+  virtual bool modeled_time() const { return false; }
 
   // Map `fn` over `tasks` (already ordered) under `policy`, optionally
-  // injecting `faults`. The retry loop is shared across backends
-  // (template method); backends only supply run_batch().
+  // injecting `faults` and emitting per-attempt trace events into
+  // `sink`. The retry loop is shared across backends (template method);
+  // backends only supply run_batch().
   MapResult map(const std::vector<TaskSpec>& tasks, const TaskFn& fn,
-                const RetryPolicy& policy = {}, const FaultInjector* faults = nullptr);
+                const RetryPolicy& policy = {}, const FaultInjector* faults = nullptr,
+                obs::TraceSink* sink = nullptr);
 
  protected:
   enum class Pool { kPrimary, kAlt };
@@ -142,6 +158,7 @@ class SimulatedExecutor final : public Executor {
   const char* name() const override { return "simulated"; }
   int workers() const override { return primary_.workers; }
   int alt_workers() const override { return alt_.workers; }
+  bool modeled_time() const override { return true; }
 
  protected:
   DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,

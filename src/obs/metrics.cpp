@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace sf::obs {
+
+StageMetrics compute_stage_metrics(const StageTrace& stage, double straggler_k) {
+  StageMetrics m;
+  m.stage = stage.info.stage;
+  m.stragglers.k = straggler_k;
+
+  std::set<std::uint64_t> task_ids;
+  std::map<SpanFault, FaultClassStat> faults;
+  double window_lo = 0.0;
+  double window_hi = 0.0;
+  bool primary_seen = false;
+  for (const TraceSpan& s : stage.spans) {
+    task_ids.insert(s.task_id);
+    ++m.attempts;
+    if (!s.ok) ++m.failed_attempts;
+    if (s.attempt > 0) ++m.retry_attempts;
+    if (s.alt_pool) ++m.alt_attempts;
+    const double dur = s.duration_s();
+    m.busy_s += dur;
+    (s.alt_pool ? m.alt_busy_s : m.primary_busy_s) += dur;
+    m.makespan_s = std::max(m.makespan_s, s.end_s);
+    m.durations.add(dur);
+    if (!s.alt_pool) {
+      if (!primary_seen) {
+        window_lo = s.begin_s;
+        window_hi = s.end_s;
+        primary_seen = true;
+      } else {
+        window_lo = std::min(window_lo, s.begin_s);
+        window_hi = std::max(window_hi, s.end_s);
+      }
+    }
+    if (s.fault != SpanFault::kNone) {
+      FaultClassStat& fc = faults[s.fault];
+      fc.fault = s.fault;
+      ++fc.attempts;
+    }
+  }
+  m.tasks = static_cast<int>(task_ids.size());
+
+  const double window = window_hi - window_lo;
+  if (primary_seen && window > 0.0 && stage.info.primary.workers > 0) {
+    m.utilization = m.primary_busy_s / (window * static_cast<double>(stage.info.primary.workers));
+  }
+
+  // Finish spread: last span end per primary worker, busiest pool only.
+  std::map<int, double> finish;
+  for (const TraceSpan& s : stage.spans) {
+    if (s.alt_pool) continue;
+    double& f = finish[s.worker];
+    f = std::max(f, s.end_s);
+  }
+  if (!finish.empty()) {
+    double lo = finish.begin()->second;
+    double hi = lo;
+    for (const auto& [w, f] : finish) {
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+    }
+    m.finish_spread_s = hi - lo;
+  }
+
+  // Stragglers and fault time, both keyed off the stage median.
+  const double median = m.durations.empty() ? 0.0 : m.durations.median();
+  m.stragglers.median_s = median;
+  for (const TraceSpan& s : stage.spans) {
+    const double dur = s.duration_s();
+    if (median > 0.0 && dur > straggler_k * median) {
+      ++m.stragglers.count;
+      m.stragglers.excess_s += dur - median;
+      m.stragglers.worst.push_back(s);
+    }
+    if (s.fault == SpanFault::kNone) continue;
+    FaultClassStat& fc = faults[s.fault];
+    if (!s.ok) {
+      fc.lost_s += dur;  // the whole attempt was burned
+    } else {
+      fc.lost_s += std::max(0.0, dur - median);  // dilation over the median
+    }
+  }
+  std::sort(m.stragglers.worst.begin(), m.stragglers.worst.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              const double da = a.duration_s();
+              const double db = b.duration_s();
+              if (da != db) return da > db;
+              if (a.task_id != b.task_id) return a.task_id < b.task_id;
+              return a.attempt < b.attempt;
+            });
+  if (m.stragglers.worst.size() > 5) m.stragglers.worst.resize(5);
+  for (const auto& [fault, fc] : faults) m.faults.push_back(fc);
+  return m;
+}
+
+Histogram duration_histogram(const StageMetrics& metrics, std::size_t bins) {
+  const double hi = metrics.durations.empty() ? 1.0 : metrics.durations.max();
+  Histogram h(0.0, hi > 0.0 ? hi : 1.0, bins == 0 ? 1 : bins);
+  for (double d : metrics.durations.samples()) h.add(d);
+  return h;
+}
+
+std::vector<double> worker_busy_timeline(const StageTrace& stage) {
+  std::vector<double> busy(static_cast<std::size_t>(std::max(1, stage.info.primary.workers)), 0.0);
+  for (const TraceSpan& s : stage.spans) {
+    if (s.alt_pool) continue;
+    const auto w = static_cast<std::size_t>(s.worker);
+    if (w < busy.size()) busy[w] += s.duration_s();
+  }
+  return busy;
+}
+
+std::string render_trace_timeline(const StageTrace& stage, std::size_t rows, std::size_t width) {
+  if (width < 8) width = 8;
+  // Sample `rows` evenly spaced primary workers that ran at least one span.
+  std::set<int> active;
+  double makespan = 0.0;
+  for (const TraceSpan& s : stage.spans) {
+    makespan = std::max(makespan, s.end_s);
+    if (!s.alt_pool) active.insert(s.worker);
+  }
+  std::vector<int> workers(active.begin(), active.end());
+  std::vector<int> sampled;
+  if (rows == 0) rows = 1;
+  if (workers.size() <= rows) {
+    sampled = workers;
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      sampled.push_back(workers[r * workers.size() / rows]);
+    }
+  }
+  if (makespan <= 0.0 || sampled.empty()) return "(no primary-pool spans)\n";
+
+  std::map<int, std::string> row_by_worker;
+  for (int w : sampled) row_by_worker[w] = std::string(width, '.');
+  for (const TraceSpan& s : stage.spans) {
+    if (s.alt_pool) continue;
+    const auto it = row_by_worker.find(s.worker);
+    if (it == row_by_worker.end()) continue;
+    auto col = [&](double t) {
+      const double f = t / makespan;
+      auto c = static_cast<std::size_t>(f * static_cast<double>(width));
+      return std::min(c, width - 1);
+    };
+    const std::size_t lo = col(s.begin_s);
+    const std::size_t hi = col(s.end_s);
+    for (std::size_t c = lo; c <= hi; ++c) it->second[c] = '#';
+    it->second[lo] = '|';
+  }
+  std::ostringstream os;
+  for (int w : sampled) os << format("w%05d ", w) << row_by_worker[w] << '\n';
+  return os.str();
+}
+
+}  // namespace sf::obs

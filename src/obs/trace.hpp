@@ -1,0 +1,191 @@
+// Deterministic campaign tracing: the observability data plane.
+//
+// The paper's scheduling evidence is observational -- Fig. 2's worker
+// timeline, §4.3's load-balance argument -- and every planned
+// scheduling experiment (speculative straggler re-execution,
+// fault-aware ordering ablations) needs per-task-attempt timing that
+// the executors used to throw away. This module records it as
+// first-class data: one TraceSpan per task attempt, carrying stage,
+// task id, worker, pool, attempt number, fault class, and sim-clock
+// begin/end.
+//
+// Determinism contract (the whole point of the design): a recorded
+// trace is a pure function of (task stream, fault plan, canonical pool
+// widths). Executors do NOT report their own schedule; they emit the
+// canonical per-attempt event stream (batch order, modeled durations),
+// and the TraceRecorder replays the discrete-event scheduler's greedy
+// dispatch arithmetic itself at the pool widths registered via
+// begin_stage(). The same (seed, plan) therefore yields bit-identical
+// traces on the SimulatedExecutor and the ThreadedExecutor, at any
+// worker or thread count, on every rerun -- and no wall clock is ever
+// read (sfcheck D2 holds by construction).
+//
+// When the executing backend's modeled widths match the registered
+// canonical widths (the pipeline's SimulatedExecutor case), the
+// recorder additionally reconciles its replayed schedule against
+// MapResult's pool-span accounting bit-for-bit: any drift between
+// accounting and the actual schedule trips an assert (and is always
+// counted in reconcile_failures() for release builds).
+//
+// Layering: obs ranks with the leaf simulation modules -- it depends
+// only on util, so dataflow and core may emit into it without cycles.
+// It deliberately mirrors (rather than includes) dataflow's fault
+// taxonomy as SpanFault, adding kIntrinsic for failures the task
+// function reported itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::obs {
+
+// Fault class of one task attempt (dataflow FaultKind plus intrinsic).
+enum class SpanFault : int {
+  kNone = 0,
+  kCrash,      // worker died mid-task
+  kTransient,  // attempt errored at the end
+  kOom,        // out-of-memory kill (reroutes to the alternate pool)
+  kStraggler,  // completed, dilated
+  kFsStall,    // completed after a metadata-stall delay
+  kIntrinsic,  // the task function itself reported failure
+};
+
+const char* span_fault_name(SpanFault fault);
+bool span_fault_from_name(const std::string& name, SpanFault& out);
+
+// Canonical width and speed of one worker pool. Homogeneous pools only:
+// heterogeneous per-worker speeds would make the canonical replay
+// schedule-dependent, which is exactly what the trace must not be.
+struct PoolTraceInfo {
+  int workers = 0;
+  double worker_speed = 1.0;
+};
+
+// Everything the recorder needs to replay one stage's schedule.
+struct StageTraceInfo {
+  std::string stage;
+  PoolTraceInfo primary;
+  PoolTraceInfo alt;  // workers == 0 => no alternate pool
+  double dispatch_overhead_s = 0.6;
+  double startup_s = 30.0;
+};
+
+// One executor retry round (round 0 is the first attempt of every task).
+struct RoundInfo {
+  int attempt = 0;
+  bool alt_pool = false;
+  double backoff_s = 0.0;
+  // Cumulative primary-pool workers crashed before this round started
+  // (raw count, pre-clamp; 0 for alternate-pool rounds). The recorder
+  // clamps against the canonical width so the value is identical on
+  // every backend.
+  int workers_lost = 0;
+  int tasks = 0;  // filled by the recorder
+};
+
+// One task attempt as the executor's map() loop saw it, in canonical
+// batch order. duration_s is the modeled duration after fault effects
+// and retry cost scaling, before worker speed.
+struct AttemptEvent {
+  std::uint64_t task_id = 0;
+  std::string name;
+  bool ok = true;
+  SpanFault fault = SpanFault::kNone;
+  double duration_s = 0.0;
+};
+
+// One recorded task attempt, placed on the canonical schedule.
+struct TraceSpan {
+  std::uint64_t task_id = 0;
+  std::string name;
+  int attempt = 0;
+  bool alt_pool = false;
+  int worker = 0;  // within its pool
+  bool ok = true;
+  SpanFault fault = SpanFault::kNone;
+  double begin_s = 0.0;  // sim clock
+  double end_s = 0.0;
+
+  double duration_s() const { return end_s - begin_s; }
+};
+
+// End-of-map accounting snapshot used for the reconcile check.
+struct MapAccounting {
+  double primary_pool_s = 0.0;
+  double alt_pool_s = 0.0;
+  double wall_s = 0.0;
+  int workers = 0;      // the executing backend's pool widths
+  int alt_workers = 0;
+  bool modeled = false;  // backend produced modeled (simulated) time
+};
+
+// One stage's recorded trace: registration info, round structure, the
+// canonical spans, and the replayed pool busy-spans.
+struct StageTrace {
+  StageTraceInfo info;
+  std::vector<RoundInfo> rounds;
+  std::vector<TraceSpan> spans;  // canonical order: round, then dispatch
+  // Replayed pool busy-spans; mirror MapResult::primary_pool_s /
+  // alt_pool_s bit-for-bit when canonical widths match the executor's.
+  double primary_pool_s = 0.0;
+  double alt_pool_s = 0.0;
+};
+
+// Sink interface the executors emit into. The default implementation
+// ignores everything, so an untraced map() costs one pointer test.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // False => emitters may skip event construction entirely.
+  virtual bool active() const { return false; }
+
+  // Stage drivers register the canonical pool shape before their map().
+  virtual void begin_stage(const StageTraceInfo& info) { (void)info; }
+  // map() brackets each round; attempts arrive in canonical batch order.
+  virtual void begin_round(const RoundInfo& round) { (void)round; }
+  virtual void record_attempt(const AttemptEvent& event) { (void)event; }
+  // End of one map(): accounting snapshot for the reconcile check.
+  virtual void end_map(const MapAccounting& accounting) { (void)accounting; }
+};
+
+// The explicit no-op sink (equivalent to passing no sink at all).
+class NullSink final : public TraceSink {};
+
+// Records canonical spans by replaying the DES dispatch arithmetic --
+// min-free-time worker, dispatch overhead, duration / speed -- at the
+// registered canonical widths. See the header comment for the
+// determinism contract.
+class TraceRecorder final : public TraceSink {
+ public:
+  bool active() const override { return true; }
+  void begin_stage(const StageTraceInfo& info) override;
+  void begin_round(const RoundInfo& round) override;
+  void record_attempt(const AttemptEvent& event) override;
+  void end_map(const MapAccounting& accounting) override;
+
+  const std::vector<StageTrace>& stages() const { return stages_; }
+
+  // Number of end_map() reconciles where MapResult's pool accounting
+  // disagreed with the replayed schedule (0 in a healthy build; also
+  // trips an assert in debug builds).
+  int reconcile_failures() const { return reconcile_failures_; }
+
+ private:
+  void close_round();
+  StageTrace& current_stage();
+
+  std::vector<StageTrace> stages_;
+  bool round_open_ = false;
+  bool round_alt_ = false;
+  RoundInfo round_;
+  std::vector<double> free_s_;   // per-worker next-free time (relative)
+  double round_last_end_s_ = 0.0;
+  double round_base_s_ = 0.0;
+  double primary_clock_s_ = 0.0;
+  double alt_clock_s_ = 0.0;
+  int reconcile_failures_ = 0;
+};
+
+}  // namespace sf::obs

@@ -1,0 +1,381 @@
+#include "obs/trace_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "util/file_io.hpp"
+#include "util/string_util.hpp"
+
+namespace sf::obs {
+namespace {
+
+// %.17g round-trips every finite double exactly.
+std::string num(double v) { return format("%.17g", v); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& stages) {
+  os << "{\n\"traceEvents\": [";
+  bool first = true;
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    const StageTrace& st = stages[si];
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << si
+       << ",\"args\":{\"name\":\"" << json_escape(st.info.stage) << "\"}}";
+    for (const TraceSpan& s : st.spans) {
+      const int tid = s.alt_pool ? st.info.primary.workers + s.worker : s.worker;
+      os << ",\n{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\""
+         << json_escape(st.info.stage) << "\",\"ph\":\"X\",\"pid\":" << si << ",\"tid\":" << tid
+         << ",\"ts\":" << num(s.begin_s * 1e6) << ",\"dur\":" << num((s.end_s - s.begin_s) * 1e6)
+         << ",\"args\":{\"task\":" << s.task_id << ",\"attempt\":" << s.attempt << ",\"pool\":\""
+         << (s.alt_pool ? "alt" : "primary") << "\",\"worker\":" << s.worker << ",\"fault\":\""
+         << span_fault_name(s.fault) << "\",\"ok\":" << (s.ok ? 1 : 0)
+         // ts/dur are scaled to microseconds for chrome://tracing; the
+         // exact sim-clock seconds ride along so a parsed trace
+         // re-renders byte-identically.
+         << ",\"beginS\":" << num(s.begin_s) << ",\"endS\":" << num(s.end_s) << "}}";
+    }
+  }
+  os << "\n],\n\"sfTrace\": {\"version\":1,\"stages\":[";
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    const StageTrace& st = stages[si];
+    if (si > 0) os << ',';
+    os << "\n{\"name\":\"" << json_escape(st.info.stage) << "\",\"workers\":"
+       << st.info.primary.workers << ",\"workerSpeed\":" << num(st.info.primary.worker_speed)
+       << ",\"altWorkers\":" << st.info.alt.workers << ",\"altWorkerSpeed\":"
+       << num(st.info.alt.worker_speed) << ",\"dispatchOverheadS\":"
+       << num(st.info.dispatch_overhead_s) << ",\"startupS\":" << num(st.info.startup_s)
+       << ",\"primaryPoolS\":" << num(st.primary_pool_s) << ",\"altPoolS\":"
+       << num(st.alt_pool_s) << ",\"rounds\":[";
+    for (std::size_t ri = 0; ri < st.rounds.size(); ++ri) {
+      const RoundInfo& r = st.rounds[ri];
+      if (ri > 0) os << ',';
+      os << "{\"attempt\":" << r.attempt << ",\"altPool\":" << (r.alt_pool ? 1 : 0)
+         << ",\"backoffS\":" << num(r.backoff_s) << ",\"workersLost\":" << r.workers_lost
+         << ",\"tasks\":" << r.tasks << '}';
+    }
+    os << "]}";
+  }
+  os << "\n]}\n}\n";
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<StageTrace>& stages) {
+  std::ostringstream os;
+  render_chrome_trace_to(os, stages);
+  return os.str();
+}
+
+void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages) {
+  write_file_atomic(path, [&](std::ostream& os) { render_chrome_trace_to(os, stages); });
+}
+
+std::string render_spans_csv(const std::vector<StageTrace>& stages) {
+  std::ostringstream os;
+  os << "stage,task_id,name,attempt,pool,worker,fault,ok,begin_s,end_s\n";
+  for (const StageTrace& st : stages) {
+    for (const TraceSpan& s : st.spans) {
+      os << st.info.stage << ',' << s.task_id << ',' << s.name << ',' << s.attempt << ','
+         << (s.alt_pool ? "alt" : "primary") << ',' << s.worker << ',' << span_fault_name(s.fault)
+         << ',' << (s.ok ? 1 : 0) << ',' << num(s.begin_s) << ',' << num(s.end_s) << '\n';
+    }
+  }
+  return os.str();
+}
+
+void write_spans_csv_file(const std::string& path, const std::vector<StageTrace>& stages) {
+  const std::string body = render_spans_csv(stages);
+  write_file_atomic(path, [&](std::ostream& os) { os << body; });
+}
+
+// ------------------------------------------------------------------ //
+// Minimal JSON reader (only what render_chrome_trace emits, plus
+// enough generality to survive reordered keys and whitespace).
+// ------------------------------------------------------------------ //
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;  // ordered: deterministic walks
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  std::string str_or(const std::string& key, const std::string& fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kString ? v->str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!value(out)) {
+      error = format("json parse error at offset %zu", pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      error = format("trailing content at offset %zu", pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // ASCII only (the writer never emits more); others degrade.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return true;
+      while (true) {
+        std::string key;
+        if (!string(key) || !eat(':')) return false;
+        JsonValue v;
+        if (!value(v)) return false;
+        out.obj.emplace(std::move(key), std::move(v));
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!value(v)) return false;
+        out.arr.push_back(std::move(v));
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.str);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    // Number.
+    std::size_t end = pos_;
+    while (end < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+                               s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+                               s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    try {
+      std::size_t used = 0;
+      out.number = std::stod(s_.substr(pos_, end - pos_), &used);
+      if (used != end - pos_) return false;
+    } catch (...) {
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* error) {
+  out.stages.clear();
+  std::string err;
+  JsonValue root;
+  if (!JsonParser(json).parse(root, err)) {
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  const JsonValue* sf_trace = root.get("sfTrace");
+  const JsonValue* stages = sf_trace != nullptr ? sf_trace->get("stages") : nullptr;
+  if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing sfTrace.stages section";
+    return false;
+  }
+  for (const JsonValue& s : stages->arr) {
+    StageTrace st;
+    st.info.stage = s.str_or("name", "?");
+    st.info.primary.workers = static_cast<int>(s.num_or("workers", 1));
+    st.info.primary.worker_speed = s.num_or("workerSpeed", 1.0);
+    st.info.alt.workers = static_cast<int>(s.num_or("altWorkers", 0));
+    st.info.alt.worker_speed = s.num_or("altWorkerSpeed", 1.0);
+    st.info.dispatch_overhead_s = s.num_or("dispatchOverheadS", 0.0);
+    st.info.startup_s = s.num_or("startupS", 0.0);
+    st.primary_pool_s = s.num_or("primaryPoolS", 0.0);
+    st.alt_pool_s = s.num_or("altPoolS", 0.0);
+    if (const JsonValue* rounds = s.get("rounds"); rounds != nullptr) {
+      for (const JsonValue& r : rounds->arr) {
+        RoundInfo round;
+        round.attempt = static_cast<int>(r.num_or("attempt", 0));
+        round.alt_pool = r.num_or("altPool", 0) != 0;
+        round.backoff_s = r.num_or("backoffS", 0.0);
+        round.workers_lost = static_cast<int>(r.num_or("workersLost", 0));
+        round.tasks = static_cast<int>(r.num_or("tasks", 0));
+        st.rounds.push_back(round);
+      }
+    }
+    out.stages.push_back(std::move(st));
+  }
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing traceEvents section";
+    return false;
+  }
+  for (const JsonValue& e : events->arr) {
+    if (e.str_or("ph", "") != "X") continue;  // skip metadata events
+    const std::size_t pid = static_cast<std::size_t>(e.num_or("pid", 0));
+    if (pid >= out.stages.size()) {
+      if (error != nullptr) *error = format("span pid %zu out of range", pid);
+      return false;
+    }
+    StageTrace& st = out.stages[pid];
+    TraceSpan span;
+    span.name = e.str_or("name", "?");
+    span.begin_s = e.num_or("ts", 0.0) / 1e6;
+    span.end_s = (e.num_or("ts", 0.0) + e.num_or("dur", 0.0)) / 1e6;
+    if (const JsonValue* args = e.get("args"); args != nullptr) {
+      // Prefer the exact sim-clock seconds over the µs-scaled ts/dur.
+      span.begin_s = args->num_or("beginS", span.begin_s);
+      span.end_s = args->num_or("endS", span.end_s);
+      span.task_id = static_cast<std::uint64_t>(args->num_or("task", 0));
+      span.attempt = static_cast<int>(args->num_or("attempt", 0));
+      span.alt_pool = args->str_or("pool", "primary") == "alt";
+      span.worker = static_cast<int>(args->num_or("worker", 0));
+      span.ok = args->num_or("ok", 1) != 0;
+      SpanFault fault = SpanFault::kNone;
+      span_fault_from_name(args->str_or("fault", "none"), fault);
+      span.fault = fault;
+    }
+    st.spans.push_back(std::move(span));
+  }
+  return true;
+}
+
+bool read_chrome_trace_file(const std::string& path, TraceDoc& out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  return parse_chrome_trace(body.str(), out, error);
+}
+
+}  // namespace sf::obs

@@ -1,0 +1,44 @@
+// Trace export and import.
+//
+// Two export formats, both deterministic byte-for-byte (doubles render
+// with %.17g so values round-trip exactly):
+//
+//   * Chrome trace-event JSON, loadable in chrome://tracing / Perfetto:
+//     one complete ("ph":"X") event per span, pid = stage index,
+//     tid = worker row (alternate-pool workers offset past the primary
+//     width), ts/dur in microseconds. A parallel "sfTrace" section
+//     carries the canonical pool shapes, round structure, and replayed
+//     pool busy-spans that the span events alone cannot express --
+//     sftrace and the tests read traces back through it.
+//   * a flat spans CSV (one row per task attempt) for ad-hoc analysis.
+//
+// All file output funnels through util/file_io::write_file_atomic
+// (sfcheck D4): a killed export never leaves a half-valid artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace sf::obs {
+
+// A trace read back from disk (or built in memory).
+struct TraceDoc {
+  std::vector<StageTrace> stages;
+};
+
+// Chrome trace-event JSON.
+std::string render_chrome_trace(const std::vector<StageTrace>& stages);
+void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages);
+
+// Flat spans CSV: stage,task_id,name,attempt,pool,worker,fault,ok,begin_s,end_s.
+std::string render_spans_csv(const std::vector<StageTrace>& stages);
+void write_spans_csv_file(const std::string& path, const std::vector<StageTrace>& stages);
+
+// Parse JSON produced by render_chrome_trace (hand-rolled reader, no
+// dependencies). Returns false and fills `error` on malformed input.
+bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* error = nullptr);
+bool read_chrome_trace_file(const std::string& path, TraceDoc& out, std::string* error = nullptr);
+
+}  // namespace sf::obs

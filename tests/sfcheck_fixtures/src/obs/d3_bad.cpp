@@ -1,0 +1,12 @@
+// sfcheck fixture: D3 violation (obs emits traces; unordered iteration
+// would make the span order depend on the hash seed).
+#include <ostream>
+#include <unordered_map>
+
+void obs_d3_bad(std::ostream& out) {
+  std::unordered_map<int, double> busy_by_worker;
+  busy_by_worker[2] = 4.5;
+  for (const auto& [worker, busy] : busy_by_worker) {
+    out << worker << ',' << busy << '\n';
+  }
+}

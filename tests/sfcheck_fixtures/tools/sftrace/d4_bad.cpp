@@ -1,0 +1,8 @@
+// sfcheck fixture: D4 violation (tools must write through the
+// torn-write-safe helpers too).
+#include <fstream>
+
+void sftrace_d4_bad(const char* path) {
+  std::ofstream out(path);
+  out << "partial";
+}

@@ -1,0 +1,5 @@
+// sfcheck fixture: L1 violation (sftrace reaching up into core; the
+// CLI may only consume obs and util).
+#include "core/pipeline.hpp"
+
+int sftrace_l1_bad() { return 0; }

@@ -160,6 +160,42 @@ TEST(Sfcheck, L1DetectsEqualRankCycles) {
   EXPECT_NE(r.diagnostics[0].message.find("fold -> sim -> fold"), std::string::npos);
 }
 
+TEST(Sfcheck, L1CoversObsModule) {
+  const auto r = scan({"src/obs/l1_bad.hpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/obs/l1_bad.hpp", 3, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("'obs'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("'core'"), std::string::npos);
+}
+
+TEST(Sfcheck, L1CoversSftraceTool) {
+  const auto r = scan({"tools/sftrace/l1_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "tools/sftrace/l1_bad.cpp", 3, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("'sftrace'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("'core'"), std::string::npos);
+}
+
+TEST(Sfcheck, L1AllowsSftraceToIncludeObs) {
+  SourceFile f{"tools/sftrace/sftrace.cpp",
+               "#include \"obs/trace_io.hpp\"\n#include \"util/stats.hpp\"\n"};
+  const auto r = sf::lint::run({f}, Config::project_default());
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D3CoversObsModule) {
+  const auto r = scan({"src/obs/d3_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/obs/d3_bad.cpp", 9, "D3");
+  EXPECT_NE(r.diagnostics[0].message.find("busy_by_worker"), std::string::npos);
+}
+
+TEST(Sfcheck, D4CoversSftraceTool) {
+  const auto r = scan({"tools/sftrace/d4_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "tools/sftrace/d4_bad.cpp", 6, "D4");
+}
+
 TEST(Sfcheck, SuppressionWithReasonSilencesAndIsReported) {
   const auto r = scan({"src/core/suppress_ok.cpp"});
   EXPECT_TRUE(r.diagnostics.empty());
@@ -202,10 +238,11 @@ TEST(Sfcheck, WholeFixtureTreeCounts) {
       "src/core/d3_good.cpp", "src/core/d4_bad.cpp", "src/core/d4_good.cpp",
       "src/core/strings_ok.cpp", "src/core/suppress_noreason.cpp",
       "src/core/suppress_ok.cpp", "src/fold/cycle_a.hpp", "src/fold/l1_good.cpp",
-      "src/geom/d3_unscoped.cpp", "src/sim/cycle_b.hpp",
+      "src/geom/d3_unscoped.cpp", "src/obs/d3_bad.cpp", "src/obs/l1_bad.hpp",
+      "src/sim/cycle_b.hpp", "tools/sftrace/d4_bad.cpp", "tools/sftrace/l1_bad.cpp",
   });
-  // 3 D1 + 2 D2 + 2 D3 + 2 D4 + 1 SUP + 1 L1 include + 1 L1 cycle.
-  EXPECT_EQ(r.diagnostics.size(), 12u);
+  // 3 D1 + 2 D2 + 3 D3 + 3 D4 + 1 SUP + 3 L1 includes + 1 L1 cycle.
+  EXPECT_EQ(r.diagnostics.size(), 16u);
   EXPECT_EQ(r.suppressed.size(), 1u);
   // Ordered by (file, line, rule): the include-graph cycle sorts first.
   EXPECT_EQ(r.diagnostics[0].file, "(include-graph)");
@@ -219,8 +256,10 @@ TEST(Sfcheck, PathScoping) {
   EXPECT_FALSE(sf::lint::is_scanned_path("bench/bench_micro.cpp"));
   EXPECT_FALSE(sf::lint::is_scanned_path("src/core/notes.md"));
   EXPECT_EQ(sf::lint::module_of("src/geom/vec3.hpp"), "geom");
-  EXPECT_EQ(sf::lint::module_of("tools/sfcheck/main.cpp"), "");
+  EXPECT_EQ(sf::lint::module_of("tools/sfcheck/main.cpp"), "sfcheck");
+  EXPECT_EQ(sf::lint::module_of("tools/sftrace/main.cpp"), "sftrace");
   EXPECT_EQ(sf::lint::module_of("src/CMakeLists.txt"), "");
+  EXPECT_EQ(sf::lint::module_of("examples/quickstart.cpp"), "");
 }
 
 TEST(Sfcheck, RendersTextAndJson) {

@@ -1,0 +1,156 @@
+// Golden-output tests for the sftrace analysis CLI (tools/sftrace).
+//
+// The trace under test is recorded through the real TraceRecorder from
+// a hand-written event stream, so the expected schedule is small enough
+// to reason about and the rendered output is fully deterministic: every
+// command's output is byte-stable across calls and across a JSON
+// round-trip of the trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+#include "sftrace.hpp"
+
+namespace sf {
+namespace {
+
+obs::AttemptEvent event(std::uint64_t id, const std::string& name, bool ok, obs::SpanFault fault,
+                        double duration_s) {
+  obs::AttemptEvent e;
+  e.task_id = id;
+  e.name = name;
+  e.ok = ok;
+  e.fault = fault;
+  e.duration_s = duration_s;
+  return e;
+}
+
+// Two primary workers, one high-memory worker; four first-round tasks
+// (one OOM failure, one straggler) and one alternate-pool retry.
+obs::TraceDoc make_doc() {
+  obs::TraceRecorder rec;
+  obs::StageTraceInfo info;
+  info.stage = "inference";
+  info.primary = {2, 1.0};
+  info.alt = {1, 1.0};
+  info.dispatch_overhead_s = 0.5;
+  info.startup_s = 10.0;
+  rec.begin_stage(info);
+  obs::RoundInfo first;
+  rec.begin_round(first);
+  rec.record_attempt(event(0, "a", true, obs::SpanFault::kNone, 20.0));
+  rec.record_attempt(event(1, "b", false, obs::SpanFault::kOom, 8.0));
+  rec.record_attempt(event(2, "c", true, obs::SpanFault::kStraggler, 90.0));
+  rec.record_attempt(event(3, "d", true, obs::SpanFault::kNone, 18.0));
+  obs::RoundInfo retry;
+  retry.attempt = 1;
+  retry.alt_pool = true;
+  retry.backoff_s = 5.0;
+  rec.begin_round(retry);
+  rec.record_attempt(event(1, "b", true, obs::SpanFault::kNone, 12.0));
+  rec.end_map(obs::MapAccounting{});  // not modeled: no reconcile
+  obs::TraceDoc doc;
+  doc.stages = rec.stages();
+  return doc;
+}
+
+std::string summarize(const obs::TraceDoc& doc) {
+  std::ostringstream os;
+  sftrace::run_summarize(doc, os);
+  return os.str();
+}
+
+TEST(Sftrace, SummarizeReportsTheStage) {
+  const obs::TraceDoc doc = make_doc();
+  const std::string out = summarize(doc);
+  EXPECT_NE(out.find("trace: 1 stage(s)"), std::string::npos);
+  EXPECT_NE(out.find("stage inference"), std::string::npos);
+  EXPECT_NE(out.find("pools: primary 2 x1, alt 1 x1"), std::string::npos);
+  EXPECT_NE(out.find("(dispatch 0.5s, startup 10s)"), std::string::npos);
+  EXPECT_NE(out.find("rounds 2: #0 4 task(s), #1 1 task(s) alt"), std::string::npos);
+  EXPECT_NE(out.find("tasks 4, attempts 5 (1 failed, 1 retries, 1 on alt pool)"),
+            std::string::npos);
+  // Durations {20,8,90,18,12}: median 18, k=4 threshold 72 -> the 90s
+  // span is the only straggler, billing 72s of excess.
+  EXPECT_NE(out.find("stragglers (> 4x median): 1, excess 1m 12s"), std::string::npos);
+  EXPECT_NE(out.find("c attempt 0 on primary"), std::string::npos);
+  EXPECT_NE(out.find("fault oom: 1 attempt(s), 8.0s lost"), std::string::npos);
+  EXPECT_NE(out.find("fault straggler: 1 attempt(s), 1m 12s lost"), std::string::npos);
+  EXPECT_NE(out.find("attempt-duration histogram:"), std::string::npos);
+}
+
+TEST(Sftrace, SummarizeIsByteStableAcrossCallsAndRoundTrip) {
+  const obs::TraceDoc doc = make_doc();
+  const std::string golden = summarize(doc);
+  EXPECT_EQ(summarize(doc), golden);
+
+  const std::string json = obs::render_chrome_trace(doc.stages);
+  obs::TraceDoc reread;
+  std::string error;
+  ASSERT_TRUE(obs::parse_chrome_trace(json, reread, &error)) << error;
+  EXPECT_EQ(summarize(reread), golden);
+}
+
+TEST(Sftrace, TimelineRendersAndFilters) {
+  const obs::TraceDoc doc = make_doc();
+  std::ostringstream os;
+  sftrace::run_timeline(doc, "", 10, 60, os);
+  const std::string all = os.str();
+  EXPECT_NE(all.find("stage inference: 2 worker(s)"), std::string::npos);
+  EXPECT_NE(all.find("w00000"), std::string::npos);
+  EXPECT_NE(all.find('#'), std::string::npos);
+
+  std::ostringstream filtered;
+  sftrace::run_timeline(doc, "inference", 10, 60, filtered);
+  EXPECT_EQ(filtered.str(), all);
+
+  std::ostringstream missing;
+  sftrace::run_timeline(doc, "nope", 10, 60, missing);
+  EXPECT_EQ(missing.str(), "sftrace: no stage named 'nope' in trace\n");
+}
+
+TEST(Sftrace, DiffOfIdenticalTracesIsClean) {
+  const obs::TraceDoc doc = make_doc();
+  std::ostringstream os;
+  EXPECT_FALSE(sftrace::run_diff(doc, doc, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("stage inference: identical (5 spans"), std::string::npos);
+  EXPECT_NE(out.find("traces identical"), std::string::npos);
+}
+
+TEST(Sftrace, DiffReportsSpanDrift) {
+  const obs::TraceDoc a = make_doc();
+  obs::TraceDoc b = make_doc();
+  b.stages[0].spans[2].end_s += 3.0;
+  std::ostringstream os;
+  EXPECT_TRUE(sftrace::run_diff(a, b, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("stage inference: span 2 drifted"), std::string::npos);
+  EXPECT_NE(out.find("task 2 attempt 0 pri"), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+  EXPECT_EQ(out.find("traces identical"), std::string::npos);
+}
+
+TEST(Sftrace, DiffReportsPoolShapeDrift) {
+  const obs::TraceDoc a = make_doc();
+  obs::TraceDoc b = make_doc();
+  b.stages[0].info.primary.workers = 3;
+  std::ostringstream os;
+  EXPECT_TRUE(sftrace::run_diff(a, b, os));
+  EXPECT_NE(os.str().find("pool shape 2+1 vs 3+1"), std::string::npos);
+}
+
+TEST(Sftrace, DiffReportsStageCountDrift) {
+  const obs::TraceDoc a = make_doc();
+  obs::TraceDoc b = make_doc();
+  b.stages.push_back(b.stages[0]);
+  std::ostringstream os;
+  EXPECT_TRUE(sftrace::run_diff(a, b, os));
+  EXPECT_NE(os.str().find("stage count differs: 1 vs 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sf

@@ -442,10 +442,11 @@ Config Config::project_default() {
       {"util", 0},
       {"bio", 1},
       {"geom", 2}, {"relax", 2}, {"score", 2}, {"seqsearch", 2}, {"fold", 2}, {"sim", 2},
-      {"dataflow", 3}, {"analysis", 3},
+      {"obs", 2},
+      {"dataflow", 3}, {"analysis", 3}, {"sftrace", 3},
       {"core", 4},
   };
-  cfg.d3_modules = {"core", "dataflow", "util", "seqsearch"};
+  cfg.d3_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace"};
   cfg.d4_allowed_prefixes = {"src/util/file_io", "src/core/journal"};
   cfg.rng_home = "src/util/rng";
   return cfg;
@@ -460,10 +461,13 @@ bool is_scanned_path(const std::string& relpath) {
 }
 
 std::string module_of(const std::string& relpath) {
-  if (!starts_with(relpath, "src/")) return "";
-  const auto slash = relpath.find('/', 4);
+  std::size_t base = std::string::npos;
+  if (starts_with(relpath, "src/")) base = 4;
+  else if (starts_with(relpath, "tools/")) base = 6;
+  if (base == std::string::npos) return "";
+  const auto slash = relpath.find('/', base);
   if (slash == std::string::npos) return "";
-  return relpath.substr(4, slash - 4);
+  return relpath.substr(base, slash - base);
 }
 
 ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {

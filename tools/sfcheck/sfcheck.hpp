@@ -12,18 +12,21 @@
 //       clock(), ...) outside bench/ -- simulated time is the only
 //       clock deterministic artifacts may see;
 //   D3  no iteration over std::unordered_map / std::unordered_set in
-//       modules that emit reports, journal records, or CSVs
-//       (src/core, src/dataflow, src/util, src/seqsearch) unless the
-//       keys are sorted into an ordered container first;
+//       modules that emit reports, journal records, CSVs, or traces
+//       (src/core, src/dataflow, src/util, src/seqsearch, src/obs,
+//       tools/sftrace) unless the keys are sorted into an ordered
+//       container first;
 //   D4  no naked std::ofstream outside the torn-write-safe helpers
 //       (src/util/file_io.*, src/core/journal.*) -- a kill mid-write
 //       must never leave a half-valid artifact;
 //   L1  include-graph layering: module ranks form
-//       util <- bio <- {geom, relax, score, seqsearch, fold, sim}
-//            <- {dataflow, analysis} <- core,
+//       util <- bio <- {geom, relax, score, seqsearch, fold, sim, obs}
+//            <- {dataflow, analysis, sftrace} <- core,
 //       includes may only point downward; equal-rank edges are allowed
 //       but the observed module graph must stay acyclic. tests/ and
-//       bench/ are unrestricted (they are not scanned);
+//       bench/ are unrestricted (they are not scanned); tools/<name>/
+//       counts as module <name> when it appears in the rank map
+//       (tools/sftrace does; tools/sfcheck stays unlayered);
 //   SUP suppressions must carry a reason: an inline
 //       `// sfcheck:allow(RULE): reason` with an empty reason is
 //       itself a violation (and suppresses nothing).
@@ -84,7 +87,8 @@ struct ScanResult {
 // examples/. tests/ and bench/ are deliberately unrestricted.
 bool is_scanned_path(const std::string& relpath);
 
-// "src/geom/vec3.hpp" -> "geom"; "" for files outside src/.
+// "src/geom/vec3.hpp" -> "geom"; "tools/sftrace/main.cpp" -> "sftrace";
+// "" for files outside src/ and tools/.
 std::string module_of(const std::string& relpath);
 
 // Run every rule over `files` (paths repo-relative). Deterministic:

@@ -1,0 +1,100 @@
+// sftrace CLI: inspect and compare recorded campaign traces.
+//
+//   sftrace summarize <trace.json>
+//   sftrace timeline  <trace.json> [--stage NAME] [--rows N] [--width N]
+//   sftrace diff      <a.json> <b.json>
+//
+// Exit status: 0 ok (diff: identical), 1 diff found drift, 2 usage or
+// I/O error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/trace_io.hpp"
+#include "sftrace.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: sftrace summarize <trace.json>\n"
+         "       sftrace timeline  <trace.json> [--stage NAME] [--rows N] [--width N]\n"
+         "       sftrace diff      <a.json> <b.json>\n"
+         "Traces are the Chrome trace-event JSON written by obs/ (e.g.\n"
+         "proteome_campaign --trace out.json). diff exits 1 when the two\n"
+         "traces drift.\n";
+}
+
+bool load(const std::string& path, sf::obs::TraceDoc& doc) {
+  std::string error;
+  if (sf::obs::read_chrome_trace_file(path, doc, &error)) return true;
+  std::cerr << "sftrace: " << path << ": " << error << "\n";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "-h" || cmd == "--help") {
+    usage(std::cout);
+    return 0;
+  }
+
+  if (cmd == "summarize") {
+    if (argc != 3) {
+      usage(std::cerr);
+      return 2;
+    }
+    sf::obs::TraceDoc doc;
+    if (!load(argv[2], doc)) return 2;
+    sf::sftrace::run_summarize(doc, std::cout);
+    return 0;
+  }
+
+  if (cmd == "timeline") {
+    if (argc < 3) {
+      usage(std::cerr);
+      return 2;
+    }
+    std::string stage;
+    std::size_t rows = 10;
+    std::size_t width = 96;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--stage" && i + 1 < argc) {
+        stage = argv[++i];
+      } else if (arg == "--rows" && i + 1 < argc) {
+        rows = static_cast<std::size_t>(std::atoi(argv[++i]));
+      } else if (arg == "--width" && i + 1 < argc) {
+        width = static_cast<std::size_t>(std::atoi(argv[++i]));
+      } else {
+        std::cerr << "sftrace: unknown option " << arg << "\n";
+        usage(std::cerr);
+        return 2;
+      }
+    }
+    sf::obs::TraceDoc doc;
+    if (!load(argv[2], doc)) return 2;
+    sf::sftrace::run_timeline(doc, stage, rows, width, std::cout);
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    if (argc != 4) {
+      usage(std::cerr);
+      return 2;
+    }
+    sf::obs::TraceDoc a;
+    sf::obs::TraceDoc b;
+    if (!load(argv[2], a) || !load(argv[3], b)) return 2;
+    return sf::sftrace::run_diff(a, b, std::cout) ? 1 : 0;
+  }
+
+  std::cerr << "sftrace: unknown command " << cmd << "\n";
+  usage(std::cerr);
+  return 2;
+}

@@ -1,0 +1,169 @@
+#include "sftrace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace sf::sftrace {
+
+namespace {
+
+std::string dur(double seconds) { return human_duration(seconds); }
+
+void summarize_stage(const obs::StageTrace& st, std::ostream& out) {
+  const obs::StageMetrics m = obs::compute_stage_metrics(st);
+  out << format("stage %s\n", st.info.stage.c_str());
+  out << format("  pools: primary %d x%.6g", st.info.primary.workers,
+                st.info.primary.worker_speed);
+  if (st.info.alt.workers > 0) {
+    out << format(", alt %d x%.6g", st.info.alt.workers, st.info.alt.worker_speed);
+  }
+  out << format("  (dispatch %.6gs, startup %.6gs)\n", st.info.dispatch_overhead_s,
+                st.info.startup_s);
+  out << format("  rounds %zu: ", st.rounds.size());
+  for (std::size_t r = 0; r < st.rounds.size(); ++r) {
+    const obs::RoundInfo& round = st.rounds[r];
+    if (r) out << ", ";
+    out << format("#%d %d task(s)%s", round.attempt, round.tasks, round.alt_pool ? " alt" : "");
+  }
+  out << '\n';
+  out << format("  tasks %d, attempts %d (%d failed, %d retries, %d on alt pool)\n", m.tasks,
+                m.attempts, m.failed_attempts, m.retry_attempts, m.alt_attempts);
+  out << format("  makespan %s, utilization %.4f, finish spread %s\n", dur(m.makespan_s).c_str(),
+                m.utilization, dur(m.finish_spread_s).c_str());
+  out << format("  busy %s (primary %s, alt %s)\n", dur(m.busy_s).c_str(),
+                dur(m.primary_busy_s).c_str(), dur(m.alt_busy_s).c_str());
+  if (!m.durations.empty()) {
+    out << format("  attempt duration: median %s, mean %s, max %s\n",
+                  dur(m.durations.median()).c_str(), dur(m.durations.mean()).c_str(),
+                  dur(m.durations.max()).c_str());
+  }
+  out << format("  stragglers (> %.6gx median): %d, excess %s\n", m.stragglers.k,
+                m.stragglers.count, dur(m.stragglers.excess_s).c_str());
+  for (const auto& s : m.stragglers.worst) {
+    out << format("    %s attempt %d on %s w%d: %s\n", s.name.c_str(), s.attempt,
+                  s.alt_pool ? "alt" : "primary", s.worker, dur(s.duration_s()).c_str());
+  }
+  for (const auto& f : m.faults) {
+    if (f.fault == obs::SpanFault::kNone) continue;
+    out << format("  fault %s: %d attempt(s), %s lost\n", obs::span_fault_name(f.fault),
+                  f.attempts, dur(f.lost_s).c_str());
+  }
+  if (m.attempts > 0) {
+    out << "  attempt-duration histogram:\n";
+    const Histogram h = obs::duration_histogram(m);
+    const std::string ascii = h.ascii(40);
+    // Indent the histogram under the stage block.
+    std::size_t at = 0;
+    while (at < ascii.size()) {
+      const std::size_t nl = ascii.find('\n', at);
+      const std::size_t end = nl == std::string::npos ? ascii.size() : nl;
+      out << "    " << ascii.substr(at, end - at) << '\n';
+      at = end + 1;
+    }
+  }
+}
+
+}  // namespace
+
+void run_summarize(const obs::TraceDoc& doc, std::ostream& out) {
+  out << format("trace: %zu stage(s)\n", doc.stages.size());
+  for (const auto& st : doc.stages) {
+    out << '\n';
+    summarize_stage(st, out);
+  }
+}
+
+void run_timeline(const obs::TraceDoc& doc, const std::string& stage, std::size_t rows,
+                  std::size_t width, std::ostream& out) {
+  bool any = false;
+  for (const auto& st : doc.stages) {
+    if (!stage.empty() && st.info.stage != stage) continue;
+    if (any) out << '\n';
+    any = true;
+    const obs::StageMetrics m = obs::compute_stage_metrics(st);
+    out << format("stage %s: %d worker(s), makespan %s, utilization %.4f\n",
+                  st.info.stage.c_str(), st.info.primary.workers, dur(m.makespan_s).c_str(),
+                  m.utilization);
+    out << obs::render_trace_timeline(st, rows, width);
+  }
+  if (!any) out << format("sftrace: no stage named '%s' in trace\n", stage.c_str());
+}
+
+namespace {
+
+bool spans_equal(const obs::TraceSpan& a, const obs::TraceSpan& b) {
+  return a.task_id == b.task_id && a.name == b.name && a.attempt == b.attempt &&
+         a.alt_pool == b.alt_pool && a.worker == b.worker && a.ok == b.ok && a.fault == b.fault &&
+         a.begin_s == b.begin_s && a.end_s == b.end_s;
+}
+
+std::string span_brief(const obs::TraceSpan& s) {
+  return format("task %llu attempt %d %s w%d [%.9g, %.9g]%s",
+                static_cast<unsigned long long>(s.task_id), s.attempt,
+                s.alt_pool ? "alt" : "pri", s.worker, s.begin_s, s.end_s, s.ok ? "" : " FAILED");
+}
+
+}  // namespace
+
+bool run_diff(const obs::TraceDoc& a, const obs::TraceDoc& b, std::ostream& out) {
+  bool drift = false;
+  if (a.stages.size() != b.stages.size()) {
+    out << format("stage count differs: %zu vs %zu\n", a.stages.size(), b.stages.size());
+    drift = true;
+  }
+  const std::size_t stages = std::min(a.stages.size(), b.stages.size());
+  for (std::size_t s = 0; s < stages; ++s) {
+    const obs::StageTrace& sa = a.stages[s];
+    const obs::StageTrace& sb = b.stages[s];
+    const std::string label = sa.info.stage == sb.info.stage
+                                  ? sa.info.stage
+                                  : sa.info.stage + " vs " + sb.info.stage;
+    bool stage_drift = sa.info.stage != sb.info.stage;
+    if (sa.info.primary.workers != sb.info.primary.workers ||
+        sa.info.alt.workers != sb.info.alt.workers) {
+      out << format("stage %s: pool shape %d+%d vs %d+%d\n", label.c_str(),
+                    sa.info.primary.workers, sa.info.alt.workers, sb.info.primary.workers,
+                    sb.info.alt.workers);
+      stage_drift = true;
+    }
+    if (sa.spans.size() != sb.spans.size()) {
+      out << format("stage %s: span count %zu vs %zu\n", label.c_str(), sa.spans.size(),
+                    sb.spans.size());
+      stage_drift = true;
+    }
+    const std::size_t spans = std::min(sa.spans.size(), sb.spans.size());
+    int mismatches = 0;
+    for (std::size_t i = 0; i < spans; ++i) {
+      if (spans_equal(sa.spans[i], sb.spans[i])) continue;
+      ++mismatches;
+      if (mismatches <= 5) {
+        out << format("stage %s: span %zu drifted\n", label.c_str(), i);
+        out << "  a: " << span_brief(sa.spans[i]) << '\n';
+        out << "  b: " << span_brief(sb.spans[i]) << '\n';
+      }
+    }
+    if (mismatches > 5) {
+      out << format("stage %s: ... %d more drifted span(s)\n", label.c_str(), mismatches - 5);
+    }
+    if (mismatches > 0) stage_drift = true;
+    const obs::StageMetrics ma = obs::compute_stage_metrics(sa);
+    const obs::StageMetrics mb = obs::compute_stage_metrics(sb);
+    if (stage_drift) {
+      out << format("stage %s: makespan %s vs %s, utilization %.4f vs %.4f (delta %+.4f)\n",
+                    label.c_str(), dur(ma.makespan_s).c_str(), dur(mb.makespan_s).c_str(),
+                    ma.utilization, mb.utilization, mb.utilization - ma.utilization);
+      drift = true;
+    } else {
+      out << format("stage %s: identical (%zu spans, makespan %s, utilization %.4f)\n",
+                    label.c_str(), sa.spans.size(), dur(ma.makespan_s).c_str(), ma.utilization);
+    }
+  }
+  if (!drift) out << "traces identical\n";
+  return drift;
+}
+
+}  // namespace sf::sftrace

@@ -1,0 +1,36 @@
+// sftrace: analysis commands over recorded campaign traces (src/obs).
+//
+// Split as library + thin CLI (the sfcheck pattern) so
+// tests/test_sftrace.cpp can drive the commands against in-memory
+// traces and assert exact golden output. Every command is a pure
+// function of its TraceDoc inputs -- byte-identical traces always
+// render byte-identical reports.
+//
+//   summarize  per-stage metrics: pools, attempts, makespan,
+//              utilization, stragglers, per-fault-class time lost, and
+//              the attempt-duration histogram;
+//   timeline   Fig. 2-style per-worker text timeline of one stage (or
+//              all stages);
+//   diff       span-level comparison of two traces: schedule drift
+//              (placement or timing), span-set drift, and the
+//              utilization delta. Returns whether anything drifted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace_io.hpp"
+
+namespace sf::sftrace {
+
+void run_summarize(const obs::TraceDoc& doc, std::ostream& out);
+
+// Empty `stage` renders every stage in the trace.
+void run_timeline(const obs::TraceDoc& doc, const std::string& stage, std::size_t rows,
+                  std::size_t width, std::ostream& out);
+
+// True when the traces drift (the CLI exits 1 in that case).
+bool run_diff(const obs::TraceDoc& a, const obs::TraceDoc& b, std::ostream& out);
+
+}  // namespace sf::sftrace
