@@ -8,11 +8,17 @@
 // stage wall-times, node-hour accounting, and quality distributions.
 //
 // Usage: ./examples/proteome_campaign [num_proteins] [summit_nodes]
-//                                     [--trace out.json]
+//                                     [--trace out.json] [--store dir]
 //
 // --trace records every task attempt into a Chrome trace-event JSON
 // (obs/trace.hpp); inspect it with tools/sftrace or chrome://tracing.
 // The report itself is byte-identical with and without tracing.
+//
+// --store keeps heavy stage artifacts (features, predictions, relaxed
+// structures) in a content-addressed store under `dir`; a second run
+// against the same directory replays them instead of recomputing.
+// Cache statistics go to stderr so stdout stays byte-identical with
+// and without the store.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -23,16 +29,20 @@
 #include "core/report.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_io.hpp"
+#include "store/artifact_store.hpp"
 #include "util/string_util.hpp"
 
 using namespace sf;
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string store_dir;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::string(argv[i]) == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
     } else {
       positional.push_back(argv[i]);
     }
@@ -64,7 +74,15 @@ int main(int argc, char** argv) {
   Pipeline pipeline(universe, cfg);
   obs::TraceRecorder recorder;
   obs::TraceSink* sink = trace_path.empty() ? nullptr : &recorder;
-  const CampaignReport report = pipeline.run(records, nullptr, sink);
+  store::ArtifactStore artifacts(store_dir);
+  store::ArtifactStore* store = nullptr;
+  if (!store_dir.empty()) {
+    const bool warm = artifacts.open();
+    std::fprintf(stderr, "store: %s opened %s with %zu artifacts\n", store_dir.c_str(),
+                 warm ? "warm" : "cold", artifacts.size());
+    store = &artifacts;
+  }
+  const CampaignReport report = pipeline.run(records, nullptr, sink, store);
   print_campaign(std::cout, report, species);
 
   // Show what the per-target results look like.
@@ -82,6 +100,23 @@ int main(int argc, char** argv) {
     obs::write_chrome_trace_file(trace_path, recorder.stages());
     std::printf("\ntrace written to %s (%zu stages; inspect with tools/sftrace)\n",
                 trace_path.c_str(), recorder.stages().size());
+  }
+
+  if (store != nullptr) {
+    // Stats go to stderr so stdout is byte-identical with and without
+    // the store (CI greps the per-stage misses count here).
+    for (const auto& [stage, s] : artifacts.stage_history()) {
+      std::fprintf(stderr,
+                   "store: %-10s gets %llu hits %llu misses %llu puts %llu evictions %llu "
+                   "staged-in %.0f B staged-out %.0f B (%.2fs read, %.2fs write)\n",
+                   stage.c_str(), (unsigned long long)s.gets, (unsigned long long)s.hits,
+                   (unsigned long long)s.misses, (unsigned long long)s.puts,
+                   (unsigned long long)s.evictions, s.bytes_read, s.bytes_written, s.read_s,
+                   s.write_s);
+    }
+    const auto& t = artifacts.total_stats();
+    std::fprintf(stderr, "store: total %zu artifacts live, %llu hits / %llu gets\n",
+                 artifacts.size(), (unsigned long long)t.hits, (unsigned long long)t.gets);
   }
   return 0;
 }

@@ -8,20 +8,21 @@ Pipeline::Pipeline(const FoldUniverse& universe, PipelineConfig config)
     : universe_(&universe), config_(std::move(config)) {}
 
 CampaignReport Pipeline::run(const std::vector<ProteinRecord>& records,
-                             CampaignJournal* journal, obs::TraceSink* sink) const {
+                             CampaignJournal* journal, obs::TraceSink* sink,
+                             store::ArtifactStore* store) const {
   CampaignReport report;
   if (journal) journal->open(campaign_fingerprint(config_, records));
 
   // Stage 1: feature generation on the CPU cluster.
   SimulatedExecutor feature_exec = make_stage_executor(config_, StageKind::kFeatures);
   const FeatureStageResult features =
-      FeatureStage().run({*universe_, config_, records, feature_exec, journal, sink});
+      FeatureStage().run({*universe_, config_, records, feature_exec, journal, sink, store});
   report.features = features.report;
 
   // Stage 2: model inference on Summit (OOM tasks retried per policy).
   SimulatedExecutor inference_exec = make_stage_executor(config_, StageKind::kInference);
   InferenceStageResult inference = InferenceStage().run(
-      {*universe_, config_, records, inference_exec, journal, sink}, features.features);
+      {*universe_, config_, records, inference_exec, journal, sink, store}, features.features);
   report.inference = inference.report;
   report.inference_records = std::move(inference.task_records);
   report.targets = std::move(inference.targets);
@@ -32,7 +33,7 @@ CampaignReport Pipeline::run(const std::vector<ProteinRecord>& records,
   // Stage 3: geometry optimization on Summit GPUs.
   SimulatedExecutor relax_exec = make_stage_executor(config_, StageKind::kRelaxation);
   report.relaxation = RelaxStage()
-                          .run({*universe_, config_, records, relax_exec, journal, sink},
+                          .run({*universe_, config_, records, relax_exec, journal, sink, store},
                                inference.kept_for_relax, report.targets)
                           .report;
 

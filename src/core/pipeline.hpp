@@ -65,10 +65,16 @@ class Pipeline {
   // uninterrupted run (see core/journal.hpp for the contract). With an
   // active trace sink, every stage registers its canonical pool shape
   // and streams per-attempt spans into it (obs/trace.hpp); the report
-  // is unchanged by tracing.
+  // is unchanged by tracing. With an artifact store (opened by the
+  // caller), stage outputs are served from / published to the
+  // content-addressed cache under the hit/miss semantics documented on
+  // StageContext::store; with faults disabled, the report is unchanged
+  // by the store, and journal + warm store together skip the feature
+  // stage's executor map entirely on resume.
   CampaignReport run(const std::vector<ProteinRecord>& records,
                      CampaignJournal* journal = nullptr,
-                     obs::TraceSink* sink = nullptr) const;
+                     obs::TraceSink* sink = nullptr,
+                     store::ArtifactStore* store = nullptr) const;
 
  private:
   const FoldUniverse* universe_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
 
 namespace sf {
 
@@ -107,6 +108,75 @@ std::uint64_t stage_fault_stream(StageKind stage) {
 
 FaultInjector stage_fault_injector(const PipelineConfig& cfg, StageKind stage) {
   return FaultInjector(cfg.faults, stage_fault_stream(stage));
+}
+
+namespace {
+
+const char* stage_store_tag(StageKind stage) {
+  switch (stage) {
+    case StageKind::kFeatures: return "features";
+    case StageKind::kInference: return "inference";
+    case StageKind::kRelaxation: return "relaxation";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint64_t store_config_fingerprint(const PipelineConfig& cfg) {
+  std::uint64_t h = stable_hash64("sf-store-cfg-v1");
+  h = mix64(h, stable_hash64(cfg.preset.name));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.library));
+  h = mix64(h, cfg.seed);
+  return h;
+}
+
+store::ArtifactKey stage_artifact_key(const PipelineConfig& cfg, StageKind stage,
+                                      const ProteinRecord& rec) {
+  return store::artifact_key(store::record_fingerprint(rec), stage_store_tag(stage),
+                             store_config_fingerprint(cfg));
+}
+
+store::StagingPricer stage_store_pricer(const PipelineConfig& cfg, StageKind stage) {
+  store::StagingPricer p;
+  p.fs = cfg.filesystem;
+  p.replicas = std::max(1, cfg.db_replicas);
+  // The fleet issuing artifact I/O for this stage: search jobs for
+  // features (one per node), GPU workers for inference/relaxation (the
+  // same widths stage_trace_info registers).
+  switch (stage) {
+    case StageKind::kFeatures:
+      p.total_jobs = stage_nodes(cfg, stage);
+      break;
+    case StageKind::kInference:
+    case StageKind::kRelaxation: {
+      const obs::StageTraceInfo info = stage_trace_info(cfg, stage);
+      p.total_jobs = std::max(1, info.primary.workers);
+      break;
+    }
+  }
+  return p;
+}
+
+double modeled_structure_bytes(int length) {
+  // PDB-style text: ~6 modeled heavy atoms per residue at 81 bytes per
+  // ATOM record, plus a fixed header.
+  return 512.0 + static_cast<double>(length) * 6.0 * 81.0;
+}
+
+obs::StoreStageStats store_stats_for_trace(const store::ArtifactStore& store) {
+  const store::StoreStats& s = store.stage_stats();
+  obs::StoreStageStats o;
+  o.gets = s.gets;
+  o.hits = s.hits;
+  o.misses = s.misses;
+  o.puts = s.puts;
+  o.evictions = s.evictions;
+  o.bytes_read = s.bytes_read;
+  o.bytes_written = s.bytes_written;
+  o.read_s = s.read_s;
+  o.write_s = s.write_s;
+  return o;
 }
 
 }  // namespace sf

@@ -33,7 +33,14 @@ class CampaignJournal;  // core/journal.hpp
 namespace obs {
 class TraceSink;        // obs/trace.hpp
 struct StageTraceInfo;
+struct StoreStageStats;
 }  // namespace obs
+
+namespace store {
+class ArtifactStore;    // store/artifact_store.hpp
+struct ArtifactKey;
+struct StagingPricer;
+}  // namespace store
 
 struct PipelineConfig {
   PresetConfig preset = preset_genome();
@@ -134,11 +141,22 @@ struct StageContext {
   // spans as an uninterrupted one -- reports still replay from the
   // journal and nothing is journaled twice.
   obs::TraceSink* sink = nullptr;
+  // Optional content-addressed artifact store (store/artifact_store.hpp).
+  // Hit/miss semantics preserve report byte-identity: a hit in a live
+  // stage skips only the real recompute -- the task still runs through
+  // the executor at its unchanged modeled duration, so store-on and
+  // store-off campaigns price identically. The one intentional
+  // exception: a journal-sealed feature stage with a store attached
+  // skips its executor map entirely (zero task attempts, zero trace
+  // spans), serving features from the store and replaying the report
+  // from the journal -- the warm-resume fast path.
+  store::ArtifactStore* store = nullptr;
 
   // Deterministic per-stage RNG stream derived from the campaign seed.
   Rng stage_rng(std::uint64_t stream) const { return Rng(config.seed, stream); }
 
   bool tracing() const;
+  bool caching() const { return store != nullptr; }
 };
 
 // Per-stage decorrelation streams for the shared campaign FaultPlan.
@@ -169,5 +187,30 @@ obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage)
 // node count (MapResult::alt_pool_s).
 StageReport stage_report_from(const std::string& name, const MapResult& run, int nodes,
                               int tasks);
+
+// --- artifact-store plumbing -----------------------------------------
+
+// Configuration fingerprint for store keys: covers exactly the knobs
+// that change artifact *content* (preset, library, campaign seed) --
+// never allocation sizes, so a rerun on different node counts still
+// hits the cache.
+std::uint64_t store_config_fingerprint(const PipelineConfig& cfg);
+
+// Key of `rec`'s artifact for `stage` under `cfg`.
+store::ArtifactKey stage_artifact_key(const PipelineConfig& cfg, StageKind stage,
+                                      const ProteinRecord& rec);
+
+// Staging pricer for `stage`'s artifact traffic: the stage's worker
+// fleet spread over the campaign's metadata replicas.
+store::StagingPricer stage_store_pricer(const PipelineConfig& cfg, StageKind stage);
+
+// Modeled on-disk size of a predicted/relaxed structure (PDB-style
+// heavy-atom records), mirroring InputFeatures::feature_bytes() for the
+// structure artifacts.
+double modeled_structure_bytes(int length);
+
+// store::StoreStats -> obs::StoreStageStats (obs mirrors the type to
+// keep its util-only dependency surface).
+obs::StoreStageStats store_stats_for_trace(const store::ArtifactStore& store);
 
 }  // namespace sf

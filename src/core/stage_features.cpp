@@ -2,6 +2,8 @@
 
 #include "core/journal.hpp"
 #include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
+#include "store/codec.hpp"
 
 namespace sf {
 
@@ -13,20 +15,59 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
   FeatureStageResult out;
   out.features.resize(n);
 
-  // A sealed stage replays from the journal: the executor is never
-  // touched (no double billing), and the features themselves -- too
-  // heavy to journal -- are recomputed from per-record seeds, which
-  // cannot drift from the original run. Under tracing the (cheap,
-  // deterministic) map re-runs so spans match an uninterrupted
-  // campaign; the report still replays from the journal.
   CampaignJournal* journal = ctx.journal;
   const bool sealed = journal && journal->stage_complete(StageKind::kFeatures);
   const bool tracing = ctx.tracing();
-  if (sealed && !tracing) {
+  const bool caching = ctx.caching();
+
+  // Store lookups happen here, outside the executor map, in record
+  // order: the threaded backend runs task functions concurrently, and
+  // the store's determinism contract requires a serial, index-ordered
+  // call sequence.
+  std::vector<char> hit(n, 0);
+  if (caching) {
+    ctx.store->begin_stage("features", stage_store_pricer(cfg, StageKind::kFeatures));
     for (std::size_t i = 0; i < n; ++i) {
-      out.features[i] = sample_features(records[i], cfg.library);
+      const auto key = stage_artifact_key(cfg, StageKind::kFeatures, records[i]);
+      if (const auto payload = ctx.store->get(key)) {
+        InputFeatures f;
+        if (store::decode_features(*payload, f)) {
+          out.features[i] = f;
+          hit[i] = 1;
+        }
+      }
+    }
+  }
+
+  // A sealed stage replays from the journal: the executor is never
+  // touched (no double billing), and the features themselves -- too
+  // heavy to journal -- come from the store on hits or are recomputed
+  // from per-record seeds on misses, which cannot drift from the
+  // original run. Without a store, tracing re-runs the (cheap,
+  // deterministic) map so spans match an uninterrupted campaign; WITH a
+  // store the map is skipped even under tracing -- that is the
+  // warm-resume fast path the store exists for, and the trace records
+  // zero feature-stage task attempts as evidence the stage never ran.
+  if (sealed && (caching || !tracing)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!hit[i]) out.features[i] = sample_features(records[i], cfg.library);
+    }
+    if (caching) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (hit[i]) continue;
+        ctx.store->put(stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
+                       records[i].sequence.id() + "/features",
+                       store::encode_features(out.features[i]),
+                       out.features[i].feature_bytes());
+      }
     }
     out.report = *journal->stage_report(StageKind::kFeatures);
+    if (tracing) {
+      // Register the stage (empty: no rounds, no spans) so the trace
+      // names it, then attach the cache counters that justify the skip.
+      ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kFeatures));
+      if (caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
+    }
     return out;
   }
 
@@ -39,9 +80,14 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
 
   const double slowdown = cfg.filesystem.io_slowdown(cfg.jobs_per_replica);
   const bool full = cfg.library == LibraryKind::kFull;
+  // On a store hit the recompute is skipped but the task still runs at
+  // its unchanged modeled duration: the stage report (and hence the
+  // campaign bottom line) is byte-identical with and without a store.
+  // The win the store banks here is the real compute; the modeled win
+  // is realized by the sealed-stage skip above on resume.
   const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
     const std::size_t i = t.payload;
-    out.features[i] = sample_features(records[i], cfg.library);
+    if (!hit[i]) out.features[i] = sample_features(records[i], cfg.library);
     TaskOutcome o;
     o.sim_duration_s = cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
                                                      andes().cpu_node_speed);
@@ -61,6 +107,15 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
 
   if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kFeatures));
   const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (caching) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (hit[i]) continue;
+      ctx.store->put(stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
+                     records[i].sequence.id() + "/features",
+                     store::encode_features(out.features[i]), out.features[i].feature_bytes());
+    }
+    if (tracing) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
+  }
   if (sealed) {
     out.report = *journal->stage_report(StageKind::kFeatures);
   } else {

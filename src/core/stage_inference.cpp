@@ -7,6 +7,8 @@
 #include "core/recycle_model.hpp"
 #include "fold/memory_model.hpp"
 #include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
+#include "store/codec.hpp"
 #include "util/string_util.hpp"
 
 namespace sf {
@@ -30,6 +32,23 @@ JournalMeasuredRow make_measured_row(std::size_t index, const TargetResult& tr,
     if (oom[static_cast<std::size_t>(m)]) row.oom_mask |= 1u << m;
   }
   row.conv_mask = conv_mask;
+  return row;
+}
+
+JournalMeasuredRow row_from_artifact(std::size_t index, const store::PredictionArtifact& a) {
+  JournalMeasuredRow row;
+  row.index = index;
+  row.top_model = a.top_model;
+  row.plddt = a.plddt;
+  row.ptms = a.ptms;
+  row.true_tm = a.true_tm;
+  row.true_lddt = a.true_lddt;
+  row.recycles = a.recycles;
+  row.converged = a.converged;
+  row.dropped = a.dropped;
+  for (int m = 0; m < 5; ++m) row.passes[m] = a.passes[m];
+  row.oom_mask = a.oom_mask;
+  row.conv_mask = a.conv_mask;
   return row;
 }
 
@@ -81,6 +100,11 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       tracing || !(journal && journal->stage_complete(StageKind::kRelaxation));
   std::size_t kept_count = 0;  // mirrors the original run's kept quota
 
+  const bool caching = ctx.caching();
+  if (caching) {
+    ctx.store->begin_stage("inference", stage_store_pricer(cfg, StageKind::kInference));
+  }
+
   for (std::size_t k = 0; k < measured_count; ++k) {
     const std::size_t i = index[k];
     const ProteinRecord& rec = records[i];
@@ -122,6 +146,53 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       continue;
     }
 
+    // The journal alone cannot restore this target (no row, or its kept
+    // structure is needed and rows do not carry structures). A stored
+    // prediction artifact can: it holds the same fields as a journal
+    // row plus the top-ranked structure, bit-exact. Replay it instead
+    // of running the engine, in exactly the order the engine path
+    // would, so recycle-model observations and sample sets restore
+    // byte-identically.
+    if (caching) {
+      store::PredictionArtifact art;
+      bool have_art = false;
+      if (const auto payload =
+              ctx.store->get(stage_artifact_key(cfg, StageKind::kInference, rec))) {
+        have_art = store::decode_prediction(*payload, art);
+      }
+      const bool art_keep = have_art && !art.dropped && kept_count < relax_measured_target;
+      if (have_art && !(art_keep && need_kept_structures && !art.has_structure)) {
+        for (std::size_t m = 0; m < 5; ++m) {
+          const bool model_oom = (art.oom_mask >> m) & 1u;
+          oom[i][m] = model_oom;
+          passes[i][m] = art.passes[m];
+          if (model_oom) continue;
+          recycle_model.observe(rec.hardness, rec.length(), art.passes[m] - 1,
+                                ((art.conv_mask >> m) & 1u) != 0);
+        }
+        if (journal) journal->record_measured(row_from_artifact(i, art));
+        if (art.dropped) {
+          tr.oom = true;
+          continue;
+        }
+        tr.top_model = art.top_model;
+        tr.plddt = art.plddt;
+        tr.ptms = art.ptms;
+        tr.true_tm = art.true_tm;
+        tr.true_lddt = art.true_lddt;
+        tr.recycles = art.recycles;
+        tr.converged = art.converged;
+        out.plddt.add(art.plddt);
+        out.ptms.add(art.ptms);
+        out.recycles.add(art.recycles);
+        if (art_keep) {
+          ++kept_count;
+          if (need_kept_structures) out.kept_for_relax.push_back({i, art.structure});
+        }
+        continue;
+      }
+    }
+
     const auto preds = engine.predict_all_models(rec, features[i], cfg.preset);
     unsigned conv_mask = 0;
     for (std::size_t m = 0; m < preds.size(); ++m) {
@@ -139,6 +210,18 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     if (top < 0) {
       tr.oom = true;
       if (journal) journal->record_measured(make_measured_row(i, tr, passes[i], oom[i], conv_mask));
+      if (caching) {
+        store::PredictionArtifact a;
+        const JournalMeasuredRow row2 = make_measured_row(i, tr, passes[i], oom[i], conv_mask);
+        a.top_model = row2.top_model;
+        a.dropped = true;
+        for (int m = 0; m < 5; ++m) a.passes[m] = row2.passes[m];
+        a.oom_mask = row2.oom_mask;
+        a.conv_mask = row2.conv_mask;
+        ctx.store->put(stage_artifact_key(cfg, StageKind::kInference, rec),
+                       rec.sequence.id() + "/prediction", store::encode_prediction(a),
+                       modeled_structure_bytes(rec.length()));
+      }
       continue;
     }
     const Prediction& best = preds[static_cast<std::size_t>(top)];
@@ -157,6 +240,26 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       out.kept_for_relax.push_back({i, best.structure});
     }
     if (journal) journal->record_measured(make_measured_row(i, tr, passes[i], oom[i], conv_mask));
+    if (caching) {
+      store::PredictionArtifact a;
+      a.top_model = tr.top_model;
+      a.plddt = tr.plddt;
+      a.ptms = tr.ptms;
+      a.true_tm = tr.true_tm;
+      a.true_lddt = tr.true_lddt;
+      a.recycles = tr.recycles;
+      a.converged = tr.converged;
+      for (int m = 0; m < 5; ++m) {
+        a.passes[m] = passes[i][static_cast<std::size_t>(m)];
+        if (oom[i][static_cast<std::size_t>(m)]) a.oom_mask |= 1u << m;
+      }
+      a.conv_mask = conv_mask;
+      a.has_structure = true;
+      a.structure = best.structure;
+      ctx.store->put(stage_artifact_key(cfg, StageKind::kInference, rec),
+                     rec.sequence.id() + "/prediction", store::encode_prediction(a),
+                     modeled_structure_bytes(rec.length()));
+    }
   }
 
   // Unmeasured targets: recycle counts from the measured empirical
@@ -256,6 +359,7 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
 
   if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kInference));
   MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (tracing && caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
   if (sealed) {
     out.report = *journal->stage_report(StageKind::kInference);
     out.task_records = journal->inference_task_records();

@@ -5,6 +5,8 @@
 #include "bio/amino_acid.hpp"
 #include "core/journal.hpp"
 #include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
+#include "store/codec.hpp"
 
 namespace sf {
 namespace {
@@ -45,6 +47,10 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
   // Real minimizations on the kept subset; fit evals ~ a + b * atoms.
   // Targets already journaled from an interrupted run reuse their
   // recorded calibration samples instead of re-minimizing.
+  const bool caching = ctx.caching();
+  if (caching) {
+    ctx.store->begin_stage("relaxation", stage_store_pricer(cfg, StageKind::kRelaxation));
+  }
   std::vector<double> fit_atoms;
   std::vector<double> fit_evals;
   for (const auto& k : kept) {
@@ -54,6 +60,37 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
       fit_atoms.push_back(row->heavy_atoms);
       fit_evals.push_back(row->energy_evaluations);
       continue;
+    }
+    // Not journaled: a stored relax artifact replays the outcome (and
+    // its calibration samples) without running the minimizer.
+    if (caching) {
+      store::RelaxArtifact art;
+      bool have_art = false;
+      if (const auto payload = ctx.store->get(
+              stage_artifact_key(cfg, StageKind::kRelaxation, records[k.record_index]))) {
+        have_art = store::decode_relax(*payload, art);
+      }
+      if (have_art) {
+        tr.relaxed = true;
+        tr.clashes_before = art.clashes_before;
+        tr.clashes_after = art.clashes_after;
+        tr.bumps_before = art.bumps_before;
+        tr.bumps_after = art.bumps_after;
+        fit_atoms.push_back(art.heavy_atoms);
+        fit_evals.push_back(art.energy_evaluations);
+        if (journal) {
+          JournalRelaxRow row;
+          row.index = k.record_index;
+          row.clashes_before = art.clashes_before;
+          row.clashes_after = art.clashes_after;
+          row.bumps_before = art.bumps_before;
+          row.bumps_after = art.bumps_after;
+          row.heavy_atoms = art.heavy_atoms;
+          row.energy_evaluations = art.energy_evaluations;
+          journal->record_relaxed(row);
+        }
+        continue;
+      }
     }
     const RelaxOutcome outcome = relax_single_pass(k.structure, cfg.relax);
     tr.relaxed = true;
@@ -73,6 +110,19 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
       row.heavy_atoms = static_cast<double>(outcome.heavy_atoms);
       row.energy_evaluations = static_cast<double>(outcome.energy_evaluations);
       journal->record_relaxed(row);
+    }
+    if (caching) {
+      store::RelaxArtifact a;
+      a.clashes_before = outcome.violations_before.clashes;
+      a.clashes_after = outcome.violations_after.clashes;
+      a.bumps_before = outcome.violations_before.bumps;
+      a.bumps_after = outcome.violations_after.bumps;
+      a.heavy_atoms = static_cast<double>(outcome.heavy_atoms);
+      a.energy_evaluations = static_cast<double>(outcome.energy_evaluations);
+      ctx.store->put(stage_artifact_key(cfg, StageKind::kRelaxation, records[k.record_index]),
+                     records[k.record_index].sequence.id() + "/relaxed",
+                     store::encode_relax(a),
+                     modeled_structure_bytes(records[k.record_index].length()));
     }
   }
   LinearFit evals_fit{120.0, 0.05};
@@ -123,6 +173,7 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
 
   if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kRelaxation));
   const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (tracing && caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
   RelaxStageResult out;
   if (sealed) {
     out.report = *journal->stage_report(StageKind::kRelaxation);

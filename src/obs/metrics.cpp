@@ -13,6 +13,14 @@ StageMetrics compute_stage_metrics(const StageTrace& stage, double straggler_k) 
   StageMetrics m;
   m.stage = stage.info.stage;
   m.stragglers.k = straggler_k;
+  m.has_store = stage.has_store;
+  if (stage.has_store) {
+    m.store = stage.store;
+    m.cache_hit_rate = stage.store.gets == 0
+                           ? 0.0
+                           : static_cast<double>(stage.store.hits) /
+                                 static_cast<double>(stage.store.gets);
+  }
 
   std::set<std::uint64_t> task_ids;
   std::map<SpanFault, FaultClassStat> faults;

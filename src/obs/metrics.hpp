@@ -57,6 +57,12 @@ struct StageMetrics {
   SampleSet durations;  // per-attempt span durations
   StragglerStats stragglers;
   std::vector<FaultClassStat> faults;  // only classes seen, enum order
+  // Artifact-store cache effectiveness (present iff the trace carried
+  // store traffic for this stage).
+  bool has_store = false;
+  StoreStageStats store;
+  // hits / gets over the stage window; 0 when no gets were issued.
+  double cache_hit_rate = 0.0;
 };
 
 StageMetrics compute_stage_metrics(const StageTrace& stage, double straggler_k = 4.0);

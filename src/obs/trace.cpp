@@ -126,6 +126,12 @@ void TraceRecorder::close_round() {
   round_open_ = false;
 }
 
+void TraceRecorder::record_store(const StoreStageStats& stats) {
+  StageTrace& st = current_stage();
+  st.store = stats;
+  st.has_store = true;
+}
+
 void TraceRecorder::end_map(const MapAccounting& accounting) {
   close_round();
   StageTrace& st = current_stage();

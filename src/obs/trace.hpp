@@ -120,6 +120,25 @@ struct MapAccounting {
   bool modeled = false;  // backend produced modeled (simulated) time
 };
 
+// Artifact-store traffic attributed to one stage: cache effectiveness
+// counters plus the replica-priced staging seconds. Mirrors (rather
+// than includes) store::StoreStats so obs keeps its util-only
+// dependency surface -- the store subsystem ranks above obs in the
+// layering DAG.
+struct StoreStageStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t evictions = 0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  double read_s = 0.0;
+  double write_s = 0.0;
+
+  bool any() const { return gets != 0 || puts != 0 || evictions != 0; }
+};
+
 // One stage's recorded trace: registration info, round structure, the
 // canonical spans, and the replayed pool busy-spans.
 struct StageTrace {
@@ -130,6 +149,12 @@ struct StageTrace {
   // alt_pool_s bit-for-bit when canonical widths match the executor's.
   double primary_pool_s = 0.0;
   double alt_pool_s = 0.0;
+  // Artifact-store traffic, present only when the campaign ran with a
+  // store attached (has_store). Serialized losslessly but omitted from
+  // the JSON when absent, so store-less traces are byte-identical to
+  // those of builds that predate the store subsystem.
+  StoreStageStats store;
+  bool has_store = false;
 };
 
 // Sink interface the executors emit into. The default implementation
@@ -148,6 +173,9 @@ class TraceSink {
   virtual void record_attempt(const AttemptEvent& event) { (void)event; }
   // End of one map(): accounting snapshot for the reconcile check.
   virtual void end_map(const MapAccounting& accounting) { (void)accounting; }
+  // Artifact-store traffic for the current stage (stage drivers emit
+  // this once per stage, after their store window closes).
+  virtual void record_store(const StoreStageStats& stats) { (void)stats; }
 };
 
 // The explicit no-op sink (equivalent to passing no sink at all).
@@ -164,6 +192,7 @@ class TraceRecorder final : public TraceSink {
   void begin_round(const RoundInfo& round) override;
   void record_attempt(const AttemptEvent& event) override;
   void end_map(const MapAccounting& accounting) override;
+  void record_store(const StoreStageStats& stats) override;
 
   const std::vector<StageTrace>& stages() const { return stages_; }
 

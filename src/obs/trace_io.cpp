@@ -69,7 +69,18 @@ void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& sta
        << num(st.info.alt.worker_speed) << ",\"dispatchOverheadS\":"
        << num(st.info.dispatch_overhead_s) << ",\"startupS\":" << num(st.info.startup_s)
        << ",\"primaryPoolS\":" << num(st.primary_pool_s) << ",\"altPoolS\":"
-       << num(st.alt_pool_s) << ",\"rounds\":[";
+       << num(st.alt_pool_s);
+    // Store traffic is emitted only when the campaign ran with a store
+    // attached, so store-less traces keep their historical byte image.
+    if (st.has_store) {
+      os << ",\"store\":{\"gets\":" << st.store.gets << ",\"hits\":" << st.store.hits
+         << ",\"misses\":" << st.store.misses << ",\"puts\":" << st.store.puts
+         << ",\"evictions\":" << st.store.evictions << ",\"bytesRead\":"
+         << num(st.store.bytes_read) << ",\"bytesWritten\":" << num(st.store.bytes_written)
+         << ",\"readS\":" << num(st.store.read_s) << ",\"writeS\":" << num(st.store.write_s)
+         << '}';
+    }
+    os << ",\"rounds\":[";
     for (std::size_t ri = 0; ri < st.rounds.size(); ++ri) {
       const RoundInfo& r = st.rounds[ri];
       if (ri > 0) os << ',';
@@ -319,6 +330,18 @@ bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* err
     st.info.startup_s = s.num_or("startupS", 0.0);
     st.primary_pool_s = s.num_or("primaryPoolS", 0.0);
     st.alt_pool_s = s.num_or("altPoolS", 0.0);
+    if (const JsonValue* store = s.get("store"); store != nullptr) {
+      st.has_store = true;
+      st.store.gets = static_cast<std::uint64_t>(store->num_or("gets", 0));
+      st.store.hits = static_cast<std::uint64_t>(store->num_or("hits", 0));
+      st.store.misses = static_cast<std::uint64_t>(store->num_or("misses", 0));
+      st.store.puts = static_cast<std::uint64_t>(store->num_or("puts", 0));
+      st.store.evictions = static_cast<std::uint64_t>(store->num_or("evictions", 0));
+      st.store.bytes_read = store->num_or("bytesRead", 0.0);
+      st.store.bytes_written = store->num_or("bytesWritten", 0.0);
+      st.store.read_s = store->num_or("readS", 0.0);
+      st.store.write_s = store->num_or("writeS", 0.0);
+    }
     if (const JsonValue* rounds = s.get("rounds"); rounds != nullptr) {
       for (const JsonValue& r : rounds->arr) {
         RoundInfo round;

@@ -17,6 +17,20 @@ double FilesystemModel::io_slowdown(int jobs_on_replica) const {
   return std::min(max_slowdown, s);
 }
 
+double FilesystemModel::artifact_read_seconds(double bytes, int jobs_on_replica) const {
+  return metadata_op_seconds * io_slowdown(jobs_on_replica) +
+         std::max(0.0, bytes) / artifact_bandwidth_bytes_per_s;
+}
+
+double FilesystemModel::artifact_write_seconds(double bytes, int jobs_on_replica) const {
+  return 2.0 * metadata_op_seconds * io_slowdown(jobs_on_replica) +
+         std::max(0.0, bytes) / artifact_bandwidth_bytes_per_s;
+}
+
+double FilesystemModel::artifact_lookup_seconds(int jobs_on_replica) const {
+  return metadata_op_seconds * io_slowdown(jobs_on_replica);
+}
+
 double FilesystemModel::staging_seconds(double library_bytes, int replicas) const {
   if (replicas <= 0) return 0.0;
   return library_bytes * static_cast<double>(replicas) / copy_bandwidth_bytes_per_s;

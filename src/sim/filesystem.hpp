@@ -24,9 +24,25 @@ struct FilesystemModel {
   // Storage cost per replica in bytes is supplied by the library; the
   // copy itself is parallel (mpiFileUtils) at this aggregate bandwidth.
   double copy_bandwidth_bytes_per_s = 12.0e9;
+  // One artifact-store metadata operation (lookup / create / rename)
+  // against an unloaded metadata server. Each op dilates by
+  // io_slowdown(jobs_on_replica) -- this is where replica count shapes
+  // artifact staging, not just library reads.
+  double metadata_op_seconds = 8.0e-4;
+  // Per-job streaming bandwidth to the data servers for artifact bodies
+  // (bulk transfer is served by OSTs, not the metadata path, so it does
+  // not dilate with metadata load).
+  double artifact_bandwidth_bytes_per_s = 1.2e9;
 
   // Latency dilation for a job when `jobs_on_replica` share one replica.
   double io_slowdown(int jobs_on_replica) const;
+
+  // Artifact-store staging prices. A hit costs one metadata op (open)
+  // plus the body transfer; a put costs two ops (create temp + atomic
+  // rename) plus the body; a miss costs one op (the failed lookup).
+  double artifact_read_seconds(double bytes, int jobs_on_replica) const;
+  double artifact_write_seconds(double bytes, int jobs_on_replica) const;
+  double artifact_lookup_seconds(int jobs_on_replica) const;
 
   // Seconds to stage `replicas` copies of a library of `bytes` with
   // mpiFileUtils-style parallel copy (copies proceed concurrently but

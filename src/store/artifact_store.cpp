@@ -1,0 +1,128 @@
+#include "store/artifact_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/file_io.hpp"
+
+namespace sf::store {
+
+void StoreStats::merge(const StoreStats& o) {
+  gets += o.gets;
+  hits += o.hits;
+  misses += o.misses;
+  puts += o.puts;
+  evictions += o.evictions;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  bytes_evicted += o.bytes_evicted;
+  read_s += o.read_s;
+  write_s += o.write_s;
+}
+
+ArtifactStore::ArtifactStore(std::string dir, StorePolicy policy)
+    : dir_(std::move(dir)), policy_(policy), manifest_(dir_ + "/manifest.sfstore") {}
+
+bool ArtifactStore::open() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_ + "/objects", ec);
+  const bool warm = manifest_.load();
+  opened_ = true;
+  return warm;
+}
+
+void ArtifactStore::begin_stage(const std::string& stage, const StagingPricer& pricer) {
+  pricer_ = pricer;
+  history_.emplace_back(stage, StoreStats{});
+}
+
+const StoreStats& ArtifactStore::stage_stats() const {
+  static const StoreStats kEmpty;
+  return history_.empty() ? kEmpty : history_.back().second;
+}
+
+void ArtifactStore::account(const StoreStats& delta) {
+  totals_.merge(delta);
+  if (!history_.empty()) history_.back().second.merge(delta);
+}
+
+std::string ArtifactStore::object_path(const ArtifactKey& key) const {
+  return dir_ + "/objects/" + key.hex() + ".sfa";
+}
+
+std::optional<std::string> ArtifactStore::get(const ArtifactKey& key) {
+  StoreStats d;
+  d.gets = 1;
+  const ManifestEntry* entry = manifest_.find(key);
+  if (entry == nullptr) {
+    d.misses = 1;
+    d.read_s = pricer_.lookup_seconds();
+    account(d);
+    return std::nullopt;
+  }
+  std::string payload;
+  {
+    std::ifstream in(object_path(key), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    payload = ss.str();
+  }
+  if (content_checksum(payload) != entry->checksum) {
+    // Missing, truncated, or corrupted object: drop it from the live
+    // set and treat as a miss. The caller recomputes; the store never
+    // serves bytes it cannot vouch for.
+    manifest_.append_evict(key);
+    std::error_code ec;
+    std::filesystem::remove(object_path(key), ec);
+    d.misses = 1;
+    d.read_s = pricer_.lookup_seconds();
+    account(d);
+    return std::nullopt;
+  }
+  d.hits = 1;
+  d.bytes_read = static_cast<double>(entry->bytes);
+  d.read_s = pricer_.read_seconds(static_cast<double>(entry->bytes));
+  account(d);
+  return payload;
+}
+
+bool ArtifactStore::contains(const ArtifactKey& key) const {
+  return manifest_.find(key) != nullptr;
+}
+
+void ArtifactStore::put(const ArtifactKey& key, const std::string& name,
+                        const std::string& payload, double modeled_bytes) {
+  write_file_atomic(object_path(key), [&](std::ostream& out) { out << payload; });
+  const auto bytes = modeled_bytes <= 0.0 ? std::uint64_t{0}
+                                          : static_cast<std::uint64_t>(modeled_bytes);
+  manifest_.append_put(key, bytes, content_checksum(payload), name);
+  StoreStats d;
+  d.puts = 1;
+  d.bytes_written = static_cast<double>(bytes);
+  d.write_s = pricer_.write_seconds(static_cast<double>(bytes));
+  account(d);
+  evict_to_capacity(key);
+}
+
+void ArtifactStore::evict_to_capacity(const ArtifactKey& keep) {
+  if (policy_.capacity_bytes == 0) return;
+  // FIFO by seq: entries() is already in insertion order, so the front
+  // is always the eviction victim. The just-put entry is exempt -- a
+  // store too small for one artifact degrades to a pass-through cache,
+  // not a failure.
+  while (manifest_.total_bytes() > policy_.capacity_bytes && manifest_.size() > 1) {
+    const ManifestEntry victim = manifest_.entries().front();
+    if (victim.key == keep) break;
+    manifest_.append_evict(victim.key);
+    std::error_code ec;
+    std::filesystem::remove(object_path(victim.key), ec);
+    StoreStats d;
+    d.evictions = 1;
+    d.bytes_evicted = static_cast<double>(victim.bytes);
+    d.write_s = pricer_.lookup_seconds();  // one metadata op for the unlink
+    account(d);
+  }
+}
+
+}  // namespace sf::store

@@ -1,0 +1,215 @@
+#include "store/codec.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace sf::store {
+namespace {
+
+std::string dhex(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return format("%016llx", static_cast<unsigned long long>(bits));
+}
+
+bool parse_dhex(const std::string& s, double& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : s) {
+    std::uint64_t nib = 0;
+    if (c >= '0' && c <= '9') nib = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nib = static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+    bits = (bits << 4) | nib;
+  }
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+bool to_int(const std::string& s, int& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoi(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool to_size(const std::string& s, std::size_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = static_cast<std::size_t>(std::stoull(s, &pos));
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+// Artifact names must be single tokens (same rule as the journal).
+std::string sanitize_token(const std::string& s) {
+  std::string out = s.empty() ? std::string("?") : s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+// Splits the payload into token lines; every line must be sealed with
+// `end` or the whole payload is rejected (torn object file).
+bool tokenize_lines(const std::string& bytes, std::vector<std::vector<std::string>>& lines) {
+  lines.clear();
+  std::istringstream in(bytes);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string t;
+    while (ss >> t) tokens.push_back(std::move(t));
+    if (tokens.size() < 2 || tokens.back() != "end") return false;
+    tokens.pop_back();
+    lines.push_back(std::move(tokens));
+  }
+  return !lines.empty();
+}
+
+void encode_structure(std::ostringstream& out, const Structure& s) {
+  out << "struct " << sanitize_token(s.name()) << ' ' << s.size() << " end\n";
+  for (const Residue& r : s.residues()) {
+    out << "r " << r.aa << ' ' << r.heavy_atoms << ' ' << (r.has_cb ? 1 : 0) << ' '
+        << (r.has_sc ? 1 : 0) << ' ' << dhex(r.n.x) << ' ' << dhex(r.n.y) << ' ' << dhex(r.n.z)
+        << ' ' << dhex(r.ca.x) << ' ' << dhex(r.ca.y) << ' ' << dhex(r.ca.z) << ' '
+        << dhex(r.c.x) << ' ' << dhex(r.c.y) << ' ' << dhex(r.c.z) << ' ' << dhex(r.o.x) << ' '
+        << dhex(r.o.y) << ' ' << dhex(r.o.z);
+    if (r.has_cb) out << ' ' << dhex(r.cb.x) << ' ' << dhex(r.cb.y) << ' ' << dhex(r.cb.z);
+    if (r.has_sc) out << ' ' << dhex(r.sc.x) << ' ' << dhex(r.sc.y) << ' ' << dhex(r.sc.z);
+    out << " end\n";
+  }
+}
+
+bool decode_vec3(const std::vector<std::string>& tokens, std::size_t at, Vec3& v) {
+  return parse_dhex(tokens[at], v.x) && parse_dhex(tokens[at + 1], v.y) &&
+         parse_dhex(tokens[at + 2], v.z);
+}
+
+bool decode_structure(const std::vector<std::vector<std::string>>& lines, std::size_t at,
+                      Structure& out) {
+  if (at >= lines.size()) return false;
+  const auto& head = lines[at];
+  if (head.size() != 3 || head[0] != "struct") return false;
+  std::size_t nres = 0;
+  if (!to_size(head[2], nres)) return false;
+  out = Structure(head[1]);
+  out.reserve(nres);
+  if (lines.size() != at + 1 + nres) return false;
+  for (std::size_t i = 0; i < nres; ++i) {
+    const auto& t = lines[at + 1 + i];
+    if (t.size() < 17 || t[0] != "r" || t[1].size() != 1) return false;
+    Residue r;
+    r.aa = t[1][0];
+    int cb = 0, sc = 0;
+    if (!to_int(t[2], r.heavy_atoms) || !to_int(t[3], cb) || !to_int(t[4], sc)) return false;
+    r.has_cb = cb != 0;
+    r.has_sc = sc != 0;
+    const std::size_t want = 17 + (r.has_cb ? 3u : 0u) + (r.has_sc ? 3u : 0u);
+    if (t.size() != want) return false;
+    if (!decode_vec3(t, 5, r.n) || !decode_vec3(t, 8, r.ca) || !decode_vec3(t, 11, r.c) ||
+        !decode_vec3(t, 14, r.o)) {
+      return false;
+    }
+    std::size_t at2 = 17;
+    if (r.has_cb) {
+      if (!decode_vec3(t, at2, r.cb)) return false;
+      at2 += 3;
+    }
+    if (r.has_sc && !decode_vec3(t, at2, r.sc)) return false;
+    out.add_residue(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_features(const InputFeatures& f) {
+  std::ostringstream out;
+  out << "sffeat v1 " << sanitize_token(f.target_id) << ' ' << f.length << ' ' << f.msa_depth
+      << ' ' << dhex(f.neff) << ' ' << dhex(f.mean_identity) << ' ' << (f.has_templates ? 1 : 0)
+      << " end\n";
+  return out.str();
+}
+
+bool decode_features(const std::string& bytes, InputFeatures& out) {
+  std::vector<std::vector<std::string>> lines;
+  if (!tokenize_lines(bytes, lines) || lines.size() != 1) return false;
+  const auto& t = lines[0];
+  if (t.size() != 8 || t[0] != "sffeat" || t[1] != "v1") return false;
+  int templates = 0;
+  if (!to_int(t[3], out.length) || !to_int(t[4], out.msa_depth) || !parse_dhex(t[5], out.neff) ||
+      !parse_dhex(t[6], out.mean_identity) || !to_int(t[7], templates)) {
+    return false;
+  }
+  out.target_id = t[2];
+  out.has_templates = templates != 0;
+  return true;
+}
+
+std::string encode_prediction(const PredictionArtifact& a) {
+  std::ostringstream out;
+  out << "sfpred v1 " << a.top_model << ' ' << dhex(a.plddt) << ' ' << dhex(a.ptms) << ' '
+      << dhex(a.true_tm) << ' ' << dhex(a.true_lddt) << ' ' << a.recycles << ' '
+      << (a.converged ? 1 : 0) << ' ' << (a.dropped ? 1 : 0);
+  for (int m = 0; m < 5; ++m) out << ' ' << a.passes[m];
+  out << ' ' << a.oom_mask << ' ' << a.conv_mask << ' ' << (a.has_structure ? 1 : 0) << " end\n";
+  if (a.has_structure) encode_structure(out, a.structure);
+  return out.str();
+}
+
+bool decode_prediction(const std::string& bytes, PredictionArtifact& out) {
+  std::vector<std::vector<std::string>> lines;
+  if (!tokenize_lines(bytes, lines)) return false;
+  const auto& t = lines[0];
+  if (t.size() != 18 || t[0] != "sfpred" || t[1] != "v1") return false;
+  int conv = 0, dropped = 0, has_structure = 0;
+  std::size_t om = 0, cm = 0;
+  if (!to_int(t[2], out.top_model) || !parse_dhex(t[3], out.plddt) ||
+      !parse_dhex(t[4], out.ptms) || !parse_dhex(t[5], out.true_tm) ||
+      !parse_dhex(t[6], out.true_lddt) || !to_int(t[7], out.recycles) || !to_int(t[8], conv) ||
+      !to_int(t[9], dropped)) {
+    return false;
+  }
+  for (int m = 0; m < 5; ++m) {
+    if (!to_int(t[10 + static_cast<std::size_t>(m)], out.passes[m])) return false;
+  }
+  if (!to_size(t[15], om) || !to_size(t[16], cm) || !to_int(t[17], has_structure)) return false;
+  out.converged = conv != 0;
+  out.dropped = dropped != 0;
+  out.oom_mask = static_cast<unsigned>(om);
+  out.conv_mask = static_cast<unsigned>(cm);
+  out.has_structure = has_structure != 0;
+  if (!out.has_structure) return lines.size() == 1;
+  return decode_structure(lines, 1, out.structure);
+}
+
+std::string encode_relax(const RelaxArtifact& a) {
+  std::ostringstream out;
+  out << "sfrelax v1 " << a.clashes_before << ' ' << a.clashes_after << ' ' << a.bumps_before
+      << ' ' << a.bumps_after << ' ' << dhex(a.heavy_atoms) << ' ' << dhex(a.energy_evaluations)
+      << " end\n";
+  return out.str();
+}
+
+bool decode_relax(const std::string& bytes, RelaxArtifact& out) {
+  std::vector<std::vector<std::string>> lines;
+  if (!tokenize_lines(bytes, lines) || lines.size() != 1) return false;
+  const auto& t = lines[0];
+  if (t.size() != 8 || t[0] != "sfrelax" || t[1] != "v1") return false;
+  return to_size(t[2], out.clashes_before) && to_size(t[3], out.clashes_after) &&
+         to_size(t[4], out.bumps_before) && to_size(t[5], out.bumps_after) &&
+         parse_dhex(t[6], out.heavy_atoms) && parse_dhex(t[7], out.energy_evaluations);
+}
+
+}  // namespace sf::store

@@ -1,0 +1,63 @@
+// Bit-exact artifact payload encoding.
+//
+// Store payloads must round-trip exactly: a warm-store resume replays
+// recycle-model observations and sample sets from decoded artifacts,
+// and the resulting CampaignReport has to match the original run
+// bit-for-bit. Doubles are therefore serialized as the hex image of
+// their IEEE-754 bit pattern (not %.17g -- the journal can afford a
+// printf round-trip per field, but structures carry thousands of
+// coordinates and the hex form is both exact by construction and
+// cheaper to parse). Each line is sealed with an `end` token like the
+// campaign journal, so a torn object file fails to decode instead of
+// yielding a plausible-but-wrong artifact.
+#pragma once
+
+#include <string>
+
+#include "geom/structure.hpp"
+#include "seqsearch/msa.hpp"
+
+namespace sf::store {
+
+// --- feature stage ---------------------------------------------------
+std::string encode_features(const InputFeatures& f);
+bool decode_features(const std::string& bytes, InputFeatures& out);
+
+// --- inference stage --------------------------------------------------
+// Everything the inference driver needs to replay one measured target
+// without running the engine: the journal-row fields (report + sample
+// replay) plus the top-ranked predicted structure (so a downstream
+// relaxation stage can still minimize it).
+struct PredictionArtifact {
+  int top_model = -1;
+  double plddt = 0.0;
+  double ptms = 0.0;
+  double true_tm = 0.0;
+  double true_lddt = 0.0;
+  int recycles = 0;
+  bool converged = false;
+  bool dropped = false;
+  int passes[5] = {0, 0, 0, 0, 0};
+  unsigned oom_mask = 0;
+  unsigned conv_mask = 0;
+  bool has_structure = false;
+  Structure structure;
+};
+
+std::string encode_prediction(const PredictionArtifact& a);
+bool decode_prediction(const std::string& bytes, PredictionArtifact& out);
+
+// --- relaxation stage -------------------------------------------------
+struct RelaxArtifact {
+  std::size_t clashes_before = 0;
+  std::size_t clashes_after = 0;
+  std::size_t bumps_before = 0;
+  std::size_t bumps_after = 0;
+  double heavy_atoms = 0.0;
+  double energy_evaluations = 0.0;
+};
+
+std::string encode_relax(const RelaxArtifact& a);
+bool decode_relax(const std::string& bytes, RelaxArtifact& out);
+
+}  // namespace sf::store

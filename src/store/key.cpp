@@ -1,0 +1,69 @@
+#include "store/key.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace sf::store {
+
+std::string ArtifactKey::hex() const {
+  return format("%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+}
+
+namespace {
+
+bool hex_nibble(char c, std::uint64_t& out) {
+  if (c >= '0' && c <= '9') out = static_cast<std::uint64_t>(c - '0');
+  else if (c >= 'a' && c <= 'f') out = static_cast<std::uint64_t>(c - 'a' + 10);
+  else return false;
+  return true;
+}
+
+bool hex_u64(std::string_view s, std::uint64_t& out) {
+  out = 0;
+  for (char c : s) {
+    std::uint64_t nib = 0;
+    if (!hex_nibble(c, nib)) return false;
+    out = (out << 4) | nib;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ArtifactKey::from_hex(std::string_view s, ArtifactKey& out) {
+  if (s.size() != 32) return false;
+  return hex_u64(s.substr(0, 16), out.hi) && hex_u64(s.substr(16, 16), out.lo);
+}
+
+std::uint64_t record_fingerprint(const ProteinRecord& rec) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &rec.hardness, sizeof(bits));
+  std::uint64_t h = stable_hash64("sf-record-v1");
+  h = mix64(h, stable_hash64(rec.sequence.id()));
+  h = mix64(h, rec.record_seed);
+  h = mix64(h, static_cast<std::uint64_t>(rec.length()));
+  h = mix64(h, bits);
+  return h;
+}
+
+ArtifactKey artifact_key(std::uint64_t record_fp, std::string_view stage,
+                         std::uint64_t config_fp) {
+  ArtifactKey key;
+  const std::uint64_t stage_h = stable_hash64(stage);
+  key.hi = mix64(mix64(stable_hash64("sf-artifact-v1"), record_fp), mix64(stage_h, config_fp));
+  // The low word folds the same inputs through a different chain so the
+  // two halves are not correlated.
+  key.lo = mix64(mix64(stage_h, config_fp), mix64(record_fp, key.hi));
+  return key;
+}
+
+std::uint64_t content_checksum(std::string_view bytes) {
+  // FNV-1a over the payload, finalized through mix64 with the length so
+  // truncation always changes the checksum even across a zero run.
+  return mix64(stable_hash64(bytes), static_cast<std::uint64_t>(bytes.size()));
+}
+
+}  // namespace sf::store

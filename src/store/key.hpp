@@ -1,0 +1,57 @@
+// Content addressing for the artifact store.
+//
+// Every heavy stage output (feature set, predicted structure, relaxed
+// structure) is keyed by a deterministic 128-bit hash of what produced
+// it: the record's stable fingerprint, the stage name, and a
+// configuration fingerprint covering the knobs that change the artifact
+// bytes (preset, library, campaign seed -- never allocation sizes, so a
+// campaign rerun on a different node count still hits). Two campaigns
+// that would compute identical bytes derive identical keys; anything
+// that changes the content changes the key, so the store never needs
+// invalidation -- stale entries are simply never addressed again.
+//
+// The payload itself is additionally covered by a 64-bit checksum
+// recorded in the manifest: a torn or corrupted object file fails
+// verification on get() and is treated as a miss, never decoded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bio/proteome.hpp"
+
+namespace sf::store {
+
+// 128-bit artifact address, rendered as 32 lowercase hex characters.
+struct ArtifactKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  std::string hex() const;
+  static bool from_hex(std::string_view s, ArtifactKey& out);
+
+  friend bool operator==(const ArtifactKey& a, const ArtifactKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const ArtifactKey& a, const ArtifactKey& b) { return !(a == b); }
+  friend bool operator<(const ArtifactKey& a, const ArtifactKey& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+// Stable identity of one input record: the same fields the campaign
+// journal fingerprints per record (id, per-record seed, length,
+// hardness), so journal identity and store identity cannot drift apart.
+std::uint64_t record_fingerprint(const ProteinRecord& rec);
+
+// Key of one (record, stage) artifact under a configuration
+// fingerprint. `stage` is the stage driver's canonical name
+// ("features", "inference", "relaxation").
+ArtifactKey artifact_key(std::uint64_t record_fp, std::string_view stage,
+                         std::uint64_t config_fp);
+
+// 64-bit integrity checksum of an artifact payload.
+std::uint64_t content_checksum(std::string_view bytes);
+
+}  // namespace sf::store

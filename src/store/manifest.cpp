@@ -1,0 +1,190 @@
+#include "store/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/file_io.hpp"
+#include "util/string_util.hpp"
+
+namespace sf::store {
+namespace {
+
+bool tokenize(const std::string& line, std::vector<std::string>& tokens) {
+  tokens.clear();
+  std::istringstream ss(line);
+  std::string t;
+  while (ss >> t) tokens.push_back(std::move(t));
+  // `end`-sealed lines, exactly as in core/journal: a torn append fails
+  // this check and invalidates the tail.
+  return tokens.size() >= 2 && tokens.back() == "end";
+}
+
+bool to_u64_dec(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool to_u64_hex(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(s, &pos, 16);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string put_line(const ManifestEntry& e) {
+  std::ostringstream ss;
+  ss << "put " << e.key.hex() << ' ' << e.bytes << ' '
+     << format("%016llx", static_cast<unsigned long long>(e.checksum)) << ' ' << e.seq << ' '
+     << e.name << " end";
+  return ss.str();
+}
+
+}  // namespace
+
+Manifest::Manifest(std::string path) : path_(std::move(path)) {}
+
+bool Manifest::parse_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  if (!tokenize(line, tokens)) return false;
+  const std::string& kind = tokens.front();
+
+  if (kind == "put") {
+    // put <key> <bytes> <checksum> <seq> <name> end
+    if (tokens.size() != 7) return false;
+    ManifestEntry e;
+    if (!ArtifactKey::from_hex(tokens[1], e.key) || !to_u64_dec(tokens[2], e.bytes) ||
+        !to_u64_hex(tokens[3], e.checksum) || !to_u64_dec(tokens[4], e.seq)) {
+      return false;
+    }
+    e.name = tokens[5];
+    // A re-put of a live key supersedes the old entry (the object file
+    // was rewritten in place).
+    const auto it = index_.find(e.key);
+    if (it != index_.end()) {
+      total_bytes_ -= live_[it->second].bytes;
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(it->second));
+      index_.clear();
+      for (std::size_t i = 0; i < live_.size(); ++i) index_[live_[i].key] = i;
+    }
+    total_bytes_ += e.bytes;
+    if (e.seq >= next_seq_) next_seq_ = e.seq + 1;
+    index_[e.key] = live_.size();
+    live_.push_back(std::move(e));
+    return true;
+  }
+  if (kind == "evict") {
+    // evict <key> end
+    if (tokens.size() != 3) return false;
+    ArtifactKey key;
+    if (!ArtifactKey::from_hex(tokens[1], key)) return false;
+    const auto it = index_.find(key);
+    if (it == index_.end()) return true;  // already gone: idempotent
+    total_bytes_ -= live_[it->second].bytes;
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(it->second));
+    index_.clear();
+    for (std::size_t i = 0; i < live_.size(); ++i) index_[live_[i].key] = i;
+    return true;
+  }
+  return false;  // unknown entry: treat as torn tail
+}
+
+std::string Manifest::canonical_image() const {
+  std::ostringstream out;
+  out << "sfstore v1 end\n";
+  for (const auto& e : live_) out << put_line(e) << '\n';
+  return out.str();
+}
+
+bool Manifest::load() {
+  live_.clear();
+  index_.clear();
+  total_bytes_ = 0;
+  next_seq_ = 1;
+
+  std::string raw;
+  {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    raw = ss.str();
+  }
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(raw);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  bool valid_header = false;
+  if (!lines.empty()) {
+    std::vector<std::string> tokens;
+    valid_header = tokenize(lines[0], tokens) && tokens.size() == 3 && tokens[0] == "sfstore" &&
+                   tokens[1] == "v1";
+  }
+  if (valid_header) {
+    std::size_t good = 1;
+    while (good < lines.size() && parse_line(lines[good])) ++good;
+  }
+
+  // Compact on open: live entries only, insertion order, original seq
+  // values -- so eviction order survives the rewrite and a resumed run
+  // assigns the same future seqs whether or not compaction happened.
+  const std::string canonical = canonical_image();
+  if (canonical != raw) {
+    write_file_atomic(path_, [&](std::ostream& out) { out << canonical; });
+  }
+  return !live_.empty();
+}
+
+const ManifestEntry* Manifest::find(const ArtifactKey& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &live_[it->second];
+}
+
+void Manifest::append_line(const std::string& line) {
+  std::ofstream out(path_, std::ios::app);
+  out << line << '\n';
+  out.flush();
+}
+
+ManifestEntry Manifest::append_put(const ArtifactKey& key, std::uint64_t bytes,
+                                   std::uint64_t checksum, const std::string& name) {
+  ManifestEntry e;
+  e.key = key;
+  e.bytes = bytes;
+  e.checksum = checksum;
+  e.seq = next_seq_++;
+  e.name = name;
+  append_line(put_line(e));
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    total_bytes_ -= live_[it->second].bytes;
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(it->second));
+    index_.clear();
+    for (std::size_t i = 0; i < live_.size(); ++i) index_[live_[i].key] = i;
+  }
+  total_bytes_ += e.bytes;
+  index_[e.key] = live_.size();
+  live_.push_back(e);
+  return e;
+}
+
+void Manifest::append_evict(const ArtifactKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  append_line(std::string("evict ") + key.hex() + " end");
+  total_bytes_ -= live_[it->second].bytes;
+  live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  index_.clear();
+  for (std::size_t i = 0; i < live_.size(); ++i) index_[live_[i].key] = i;
+}
+
+}  // namespace sf::store

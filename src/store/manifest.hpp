@@ -1,0 +1,80 @@
+// Append-only, compact-on-open store manifest.
+//
+// The manifest is the store's single source of truth: an object file
+// under objects/ is live iff the manifest has an un-evicted `put` line
+// for its key. It uses the same durability discipline as the campaign
+// journal (core/journal): every line is sealed with an `end` token so a
+// kill mid-append tears at most the final line, which load() discards;
+// open() then rewrites the recovered state as its canonical image
+// (live entries only, insertion order) atomically via write_file_atomic
+// and only when the bytes differ, so the file stays bounded across
+// put/evict cycles and a clean reopen never touches the disk.
+//
+// Line format (all integers decimal except the key and checksum, hex):
+//   sfstore v1 end
+//   put <key:32hex> <bytes> <checksum:16hex> <seq> <name> end
+//   evict <key:32hex> end
+//
+// `bytes` is the artifact's MODELED size (what the real pipeline would
+// move over the parallel filesystem -- e.g. InputFeatures::
+// feature_bytes()), not the physical size of our compact surrogate
+// encoding; capacity accounting and staging prices both use it, so the
+// store behaves like the multi-GB artifact cache it stands in for.
+// `seq` is a monotone insertion counter: eviction order (FIFO, lowest
+// seq first) is a pure function of insertion order, hence identical
+// across reruns and executor backends.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/key.hpp"
+
+namespace sf::store {
+
+struct ManifestEntry {
+  ArtifactKey key;
+  std::uint64_t bytes = 0;     // modeled artifact size
+  std::uint64_t checksum = 0;  // content_checksum of the payload
+  std::uint64_t seq = 0;       // insertion counter (eviction order)
+  std::string name;            // human-readable label, e.g. "dv_00042/features"
+};
+
+class Manifest {
+ public:
+  explicit Manifest(std::string path);
+
+  // Recovers state from disk (tolerating a torn tail), then compacts.
+  // Returns true if any live entries were recovered.
+  bool load();
+
+  // Live entries in insertion (seq) order.
+  const std::vector<ManifestEntry>& entries() const { return live_; }
+  const ManifestEntry* find(const ArtifactKey& key) const;
+  std::size_t size() const { return live_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  // Appends a `put` line and registers the entry (seq assigned here).
+  ManifestEntry append_put(const ArtifactKey& key, std::uint64_t bytes, std::uint64_t checksum,
+                           const std::string& name);
+  // Appends an `evict` line and drops the entry; no-op for unknown keys.
+  void append_evict(const ArtifactKey& key);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  bool parse_line(const std::string& line);
+  void append_line(const std::string& line);
+  std::string canonical_image() const;
+
+  std::string path_;
+  std::vector<ManifestEntry> live_;
+  std::map<ArtifactKey, std::size_t> index_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace sf::store

@@ -1,0 +1,13 @@
+// sfcheck fixture: D3 violation (the store's manifest image must be
+// insertion-ordered; unordered iteration would make eviction order and
+// the compacted bytes depend on the hash seed).
+#include <ostream>
+#include <unordered_map>
+
+void store_d3_bad(std::ostream& out) {
+  std::unordered_map<unsigned long long, unsigned long long> bytes_by_key;
+  bytes_by_key[7] = 4096;
+  for (const auto& [key, bytes] : bytes_by_key) {
+    out << key << ' ' << bytes << '\n';
+  }
+}

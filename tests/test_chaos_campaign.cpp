@@ -14,6 +14,7 @@
 //    CampaignReport identical to the uninterrupted run.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -23,6 +24,7 @@
 
 #include "core/journal.hpp"
 #include "core/pipeline.hpp"
+#include "store/artifact_store.hpp"
 #include "chaos_schedule.hpp"
 
 namespace sf {
@@ -441,6 +443,62 @@ TEST(ChaosCampaign, JournalResumeReproducesUninterruptedRun) {
     const CampaignReport resumed = pipeline.run(records, &journal);
     expect_campaign_eq(baseline, resumed);
   }
+}
+
+TEST(ChaosCampaign, JournalResumeWithWarmStoreReproducesAtEveryCut) {
+  // Same kill-at-any-byte discipline as above, but every resume also
+  // sees a warm artifact store: cache hits must never perturb the
+  // replayed campaign, at any truncation point.
+  FoldUniverse universe(40, 31);
+  const auto records = ProteomeGenerator(universe, species_d_vulgaris(), 12).generate(12);
+  const PipelineConfig cfg = chaos_campaign_config();
+  const Pipeline pipeline(universe, cfg);
+  const CampaignReport baseline = pipeline.run(records);
+
+  const std::string dir = ::testing::TempDir() + "chaos_warm_store";
+  std::filesystem::remove_all(dir);
+  const std::string full_path = ::testing::TempDir() + "chaos_store_journal.sfj";
+  write_file(full_path, "");
+  {
+    store::ArtifactStore artifacts(dir);
+    artifacts.open();
+    CampaignJournal journal(full_path);
+    const CampaignReport journaled = pipeline.run(records, &journal, nullptr, &artifacts);
+    expect_campaign_eq(baseline, journaled);
+  }
+  const std::string full = read_file(full_path);
+
+  std::vector<std::size_t> cuts;
+  for (std::size_t pos = 0; pos < full.size(); ++pos) {
+    if (full[pos] == '\n') cuts.push_back(pos + 1);
+  }
+  const std::size_t line_cuts = cuts.size();
+  std::vector<std::size_t> selected;
+  const std::size_t stride = std::max<std::size_t>(1, line_cuts / 12);
+  for (std::size_t i = 0; i < line_cuts; i += stride) {
+    selected.push_back(cuts[i]);
+    // A torn tail a few bytes into the next line at every sampled spot.
+    if (i + 1 < line_cuts && cuts[i] + 4 < cuts[i + 1]) selected.push_back(cuts[i] + 4);
+  }
+
+  int resumed_runs = 0;
+  for (const std::size_t cut : selected) {
+    const std::string path =
+        ::testing::TempDir() + "chaos_store_cut_" + std::to_string(cut) + ".sfj";
+    write_file(path, full.substr(0, cut));
+    store::ArtifactStore warm(dir);
+    EXPECT_TRUE(warm.open());
+    CampaignJournal journal(path);
+    const CampaignReport resumed = pipeline.run(records, &journal, nullptr, &warm);
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    expect_campaign_eq(baseline, resumed);
+    // A warm store never recomputes features on resume.
+    ASSERT_FALSE(warm.stage_history().empty());
+    EXPECT_EQ(warm.stage_history()[0].first, "features");
+    EXPECT_EQ(warm.stage_history()[0].second.misses, 0u);
+    ++resumed_runs;
+  }
+  EXPECT_GE(resumed_runs, 20);
 }
 
 TEST(ChaosCampaign, JournalRejectsForeignFingerprint) {

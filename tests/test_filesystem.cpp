@@ -71,5 +71,23 @@ TEST(Filesystem, UnevenSpreadHandled) {
   EXPECT_GT(t, fs.fleet_throughput(5, 1, 100.0, 0.35));
 }
 
+TEST(Filesystem, ArtifactStagingPricedThroughMetadataQueue) {
+  const FilesystemModel fs;
+  // Metadata ops inflate with replica load, exactly like library reads.
+  EXPECT_GT(fs.artifact_read_seconds(0.0, 8), fs.artifact_read_seconds(0.0, 2));
+  EXPECT_GT(fs.artifact_write_seconds(0.0, 8), fs.artifact_write_seconds(0.0, 2));
+  EXPECT_GT(fs.artifact_lookup_seconds(8), fs.artifact_lookup_seconds(2));
+  // A write is two metadata ops (create + rename) to a read's one.
+  EXPECT_DOUBLE_EQ(fs.artifact_write_seconds(0.0, 4), 2.0 * fs.artifact_read_seconds(0.0, 4));
+  // The body streams at replica bandwidth, independent of metadata load.
+  const double body = 1.2e9;  // one bandwidth-second of bytes
+  EXPECT_DOUBLE_EQ(fs.artifact_read_seconds(body, 4) - fs.artifact_read_seconds(0.0, 4),
+                   body / fs.artifact_bandwidth_bytes_per_s);
+  // A miss probe costs one op and never touches the data servers.
+  EXPECT_DOUBLE_EQ(fs.artifact_lookup_seconds(4), fs.artifact_read_seconds(0.0, 4));
+  // Degenerate inputs stay finite and non-negative.
+  EXPECT_GE(fs.artifact_read_seconds(-5.0, 4), 0.0);
+}
+
 }  // namespace
 }  // namespace sf

@@ -183,6 +183,44 @@ TEST(Sfcheck, L1AllowsSftraceToIncludeObs) {
   EXPECT_TRUE(r.diagnostics.empty());
 }
 
+TEST(Sfcheck, L1CoversStoreModule) {
+  const auto r = scan({"src/store/l1_bad.hpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/store/l1_bad.hpp", 3, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("'store'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("'core'"), std::string::npos);
+}
+
+TEST(Sfcheck, L1AllowsStoreDownwardAndCoreToIncludeStore) {
+  SourceFile store_cpp{"src/store/artifact_store.cpp",
+                       "#include \"sim/filesystem.hpp\"\n#include \"util/file_io.hpp\"\n"
+                       "#include \"seqsearch/msa.hpp\"\n"};
+  SourceFile core_cpp{"src/core/stage_features.cpp",
+                      "#include \"store/artifact_store.hpp\"\n"};
+  const auto r = sf::lint::run({store_cpp, core_cpp}, Config::project_default());
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D3CoversStoreModule) {
+  const auto r = scan({"src/store/d3_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/store/d3_bad.cpp", 10, "D3");
+  EXPECT_NE(r.diagnostics[0].message.find("bytes_by_key"), std::string::npos);
+}
+
+TEST(Sfcheck, D4AllowsStoreManifestAppenderOnly) {
+  // The manifest shares the journal's end-sealed append discipline and
+  // carries the same exemption; the rest of src/store/ does not.
+  auto bad = load_fixture("src/core/d4_bad.cpp");
+  bad.path = "src/store/manifest.cpp";
+  const auto manifest = sf::lint::run({bad}, Config::project_default());
+  EXPECT_TRUE(manifest.diagnostics.empty());
+  bad.path = "src/store/artifact_store.cpp";
+  const auto rest = sf::lint::run({bad}, Config::project_default());
+  ASSERT_EQ(rest.diagnostics.size(), 1u);
+  EXPECT_EQ(rest.diagnostics[0].rule, "D4");
+}
+
 TEST(Sfcheck, D3CoversObsModule) {
   const auto r = scan({"src/obs/d3_bad.cpp"});
   ASSERT_EQ(r.diagnostics.size(), 1u);
@@ -239,10 +277,11 @@ TEST(Sfcheck, WholeFixtureTreeCounts) {
       "src/core/strings_ok.cpp", "src/core/suppress_noreason.cpp",
       "src/core/suppress_ok.cpp", "src/fold/cycle_a.hpp", "src/fold/l1_good.cpp",
       "src/geom/d3_unscoped.cpp", "src/obs/d3_bad.cpp", "src/obs/l1_bad.hpp",
-      "src/sim/cycle_b.hpp", "tools/sftrace/d4_bad.cpp", "tools/sftrace/l1_bad.cpp",
+      "src/sim/cycle_b.hpp", "src/store/d3_bad.cpp", "src/store/l1_bad.hpp",
+      "tools/sftrace/d4_bad.cpp", "tools/sftrace/l1_bad.cpp",
   });
-  // 3 D1 + 2 D2 + 3 D3 + 3 D4 + 1 SUP + 3 L1 includes + 1 L1 cycle.
-  EXPECT_EQ(r.diagnostics.size(), 16u);
+  // 3 D1 + 2 D2 + 4 D3 + 3 D4 + 1 SUP + 4 L1 includes + 1 L1 cycle.
+  EXPECT_EQ(r.diagnostics.size(), 18u);
   EXPECT_EQ(r.suppressed.size(), 1u);
   // Ordered by (file, line, rule): the include-graph cycle sorts first.
   EXPECT_EQ(r.diagnostics[0].file, "(include-graph)");

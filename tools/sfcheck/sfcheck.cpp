@@ -443,11 +443,14 @@ Config Config::project_default() {
       {"bio", 1},
       {"geom", 2}, {"relax", 2}, {"score", 2}, {"seqsearch", 2}, {"fold", 2}, {"sim", 2},
       {"obs", 2},
-      {"dataflow", 3}, {"analysis", 3}, {"sftrace", 3},
+      {"dataflow", 3}, {"analysis", 3}, {"sftrace", 3}, {"store", 3},
       {"core", 4},
   };
-  cfg.d3_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace"};
-  cfg.d4_allowed_prefixes = {"src/util/file_io", "src/core/journal"};
+  cfg.d3_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace", "store"};
+  // The store's manifest appender shares the journal's torn-write
+  // discipline (end-sealed lines + compact-on-open), so it carries the
+  // same D4 exemption.
+  cfg.d4_allowed_prefixes = {"src/util/file_io", "src/core/journal", "src/store/manifest"};
   cfg.rng_home = "src/util/rng";
   return cfg;
 }

@@ -41,6 +41,15 @@ void summarize_stage(const obs::StageTrace& st, std::ostream& out) {
                   dur(m.durations.median()).c_str(), dur(m.durations.mean()).c_str(),
                   dur(m.durations.max()).c_str());
   }
+  if (m.has_store) {
+    const obs::StoreStageStats& s = m.store;
+    out << format("  artifact store: %llu hit / %llu get (%.1f%%), %llu put, %llu evicted\n",
+                  (unsigned long long)s.hits, (unsigned long long)s.gets,
+                  100.0 * m.cache_hit_rate, (unsigned long long)s.puts,
+                  (unsigned long long)s.evictions);
+    out << format("    staged in %.0f B over %s, out %.0f B over %s\n", s.bytes_read,
+                  dur(s.read_s).c_str(), s.bytes_written, dur(s.write_s).c_str());
+  }
   out << format("  stragglers (> %.6gx median): %d, excess %s\n", m.stragglers.k,
                 m.stragglers.count, dur(m.stragglers.excess_s).c_str());
   for (const auto& s : m.stragglers.worst) {
