@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "fold/engine.hpp"
 #include "fold/presets.hpp"
+#include "native/render.hpp"
 #include "relax/protocol.hpp"
 #include "score/specs_score.hpp"
 #include "score/tm_score.hpp"

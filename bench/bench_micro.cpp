@@ -6,6 +6,7 @@
 #include "geom/backbone.hpp"
 #include "geom/distogram.hpp"
 #include "geom/kabsch.hpp"
+#include "native/render.hpp"
 #include "geom/violations.hpp"
 #include "relax/forcefield.hpp"
 #include "relax/minimize.hpp"

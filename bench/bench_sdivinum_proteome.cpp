@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "fold/engine.hpp"
+#include "native/render.hpp"
 #include "score/lddt.hpp"
 #include "seqsearch/feature_model.hpp"
 

@@ -15,6 +15,7 @@
 #include "fold/engine.hpp"
 #include "fold/presets.hpp"
 #include "geom/pdb_io.hpp"
+#include "native/render.hpp"
 #include "relax/protocol.hpp"
 #include "score/tm_score.hpp"
 #include "seqsearch/feature_model.hpp"
@@ -57,7 +58,7 @@ int main() {
               relaxed.violations_before.bumps, relaxed.violations_after.bumps);
 
   // 5. Ground truth scoring (the synthetic world knows its native).
-  const Structure native = generator.build_native(target);
+  const Structure native = build_native_structure(universe, target);
   std::printf("true TM-score vs native: unrelaxed %.3f, relaxed %.3f\n",
               tm_score(best.structure, native).tm_score,
               tm_score(relaxed.relaxed, native).tm_score);

@@ -15,6 +15,7 @@
 #include "dataflow/task.hpp"
 #include "dataflow/threaded.hpp"
 #include "fold/engine.hpp"
+#include "native/render.hpp"
 #include "relax/protocol.hpp"
 #include "score/tm_score.hpp"
 #include "seqsearch/feature_model.hpp"

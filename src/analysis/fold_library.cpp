@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "native/render.hpp"
+
 namespace sf {
 
 double structure_contact_density(const Structure& s) {

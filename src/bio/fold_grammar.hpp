@@ -6,8 +6,8 @@
 // folds are "novel" (absent from the PDB70-like fold library). A fold
 // here is a topology: an alternating list of secondary-structure elements
 // and loops plus a torsion seed; rendering a fold at a given length
-// scales the elements, and building it through geom::build_ca_trace with
-// the fold's seed yields a reproducible native structure. Homologs share
+// scales the elements, and assembling it (native/render) with the fold's
+// seed yields a reproducible native structure. Homologs share
 // the fold (and hence the structure, up to mutational noise) while their
 // sequences diverge -- exactly the regime §4.6's structure-based
 // annotation experiment probes.
@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "bio/sequence.hpp"
-#include "geom/structure.hpp"  // sfcheck:allow(L1): fold grammar renders native structures; lifting rendering out of bio is a ROADMAP item
 #include "util/rng.hpp"
 
 namespace sf {
@@ -45,6 +44,12 @@ FoldSpec sample_fold(Rng& rng, int target_length);
 // element lengths proportionally (loops absorb rounding).
 std::string render_ss(const FoldSpec& fold, int length);
 
+// Rendered span per element at a target length: secondary-structure
+// elements keep their base lengths whenever the budget allows and loops
+// absorb the difference. Shared between SS rendering here and structure
+// assembly in native/ so the two views of a rendered fold always agree.
+std::vector<int> element_spans(const FoldSpec& fold, int length);
+
 // Sample a sequence whose residues are propensity-consistent with `ss`
 // (helix-formers in H runs, strand-formers in E runs, ...).
 std::string sample_sequence_for_ss(const std::string& ss, Rng& rng);
@@ -56,13 +61,6 @@ std::string sample_sequence_for_ss(const std::string& ss, Rng& rng);
 // `length` first (element-proportional mapping).
 std::string homolog_sequence(const FoldSpec& fold, const std::string& parent_seq,
                              int parent_length, int length, double identity, Rng& rng);
-
-// Build the native structure of a fold rendered at `length`, with the
-// fold's deterministic torsion stream; `noise_A` adds isotropic Gaussian
-// coordinate noise (used for divergent homolog structures).
-Structure build_fold_structure(const std::string& name, const FoldSpec& fold,
-                               const std::string& sequence, double noise_A = 0.0,
-                               std::uint64_t noise_seed = 0);
 
 // A catalog of folds with power-law family sizes and synthesized
 // functional annotations. Shared between the proteome generator and the

@@ -65,18 +65,6 @@ std::vector<ProteinRecord> ProteomeGenerator::generate(int count) const {
   return records;
 }
 
-Structure ProteomeGenerator::build_native(const ProteinRecord& rec) const {
-  return build_native_structure(*universe_, rec);
-}
-
-Structure build_native_structure(const FoldUniverse& universe, const ProteinRecord& rec) {
-  const FoldSpec& fold = universe.fold(rec.fold_index);
-  // Mutational divergence perturbs the native slightly relative to the
-  // family's canonical geometry; 0.25 A is within crystallographic noise.
-  return build_fold_structure(rec.sequence.id() + "_native", fold, rec.sequence.residues(),
-                              /*noise_A=*/0.25, /*noise_seed=*/rec.record_seed);
-}
-
 ProteomeStats summarize_proteome(const std::vector<ProteinRecord>& records) {
   ProteomeStats st;
   st.count = static_cast<int>(records.size());

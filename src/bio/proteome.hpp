@@ -17,7 +17,6 @@
 #include "bio/fold_grammar.hpp"
 #include "bio/sequence.hpp"
 #include "bio/species.hpp"
-#include "geom/structure.hpp"  // sfcheck:allow(L1): native structures are built on demand from records; lifting rendering out of bio is a ROADMAP item
 #include "util/rng.hpp"
 
 namespace sf {
@@ -48,18 +47,14 @@ class ProteomeGenerator {
 
   const SpeciesProfile& profile() const { return profile_; }
 
-  // Build the native structure of a record (deterministic).
-  Structure build_native(const ProteinRecord& rec) const;
+  // The generating universe (native/render builds structures from it).
+  const FoldUniverse& universe() const { return *universe_; }
 
  private:
   const FoldUniverse* universe_;
   SpeciesProfile profile_;
   std::uint64_t seed_;
 };
-
-// Convenience for standalone use (e.g. tests): native structure from a
-// record given the universe it was generated from.
-Structure build_native_structure(const FoldUniverse& universe, const ProteinRecord& rec);
 
 // Summary statistics used by reports.
 struct ProteomeStats {

@@ -1,0 +1,464 @@
+#include "core/campaign_service.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/journal.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+
+const char* ordering_policy_name(OrderingPolicy policy) {
+  switch (policy) {
+    case OrderingPolicy::kFifo: return "fifo";
+    case OrderingPolicy::kLengthSorted: return "sorted";
+    case OrderingPolicy::kShortestFirst: return "shortest";
+    case OrderingPolicy::kFairShare: return "fair";
+  }
+  return "?";
+}
+
+bool ordering_policy_from_name(const std::string& name, OrderingPolicy& out) {
+  if (name == "fifo") {
+    out = OrderingPolicy::kFifo;
+  } else if (name == "sorted") {
+    out = OrderingPolicy::kLengthSorted;
+  } else if (name == "shortest") {
+    out = OrderingPolicy::kShortestFirst;
+  } else if (name == "fair") {
+    out = OrderingPolicy::kFairShare;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool degenerate_stream(const std::vector<ArrivalEvent>& arrivals, std::size_t num_records) {
+  if (arrivals.size() != num_records) return false;
+  for (std::size_t r = 0; r < arrivals.size(); ++r) {
+    const ArrivalEvent& ev = arrivals[r];
+    if (ev.time_s != 0.0 || ev.record != r || ev.tenant != 0 ||
+        ev.request_id != static_cast<int>(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Task-level execution order inside a wave. Membership policies map
+// onto the executor's order knob; FIFO and FairShare dispatch in
+// submission (record-index) order.
+TaskOrder policy_task_order(OrderingPolicy policy) {
+  switch (policy) {
+    case OrderingPolicy::kFifo:
+    case OrderingPolicy::kFairShare: return TaskOrder::kSubmission;
+    case OrderingPolicy::kLengthSorted: return TaskOrder::kDescendingCost;
+    case OrderingPolicy::kShortestFirst: return TaskOrder::kAscendingCost;
+  }
+  return TaskOrder::kSubmission;
+}
+
+// One queued record: the first request opened it; later requests for
+// the same record attach here (in-flight dedup) and ride the same wave.
+struct PendingEntry {
+  std::size_t record = 0;
+  std::size_t tenant = 0;
+  std::vector<std::size_t> request_slots;  // indices into the outcomes
+};
+
+// Campaign-level aggregation of per-wave stage reports. A single wave
+// aggregates to itself exactly (no recomputation), which is what keeps
+// the degenerate stream byte-identical to the batch pipeline;
+// utilization is wall-weighted across waves otherwise.
+struct StageAggregate {
+  StageReport report;
+  int waves = 0;
+  double util_weight = 0.0;
+};
+
+void add_wave(StageAggregate& agg, const StageReport& wave) {
+  if (agg.waves == 0) {
+    agg.report = wave;
+    agg.util_weight = wave.mean_utilization * wave.wall_s;
+    agg.waves = 1;
+    return;
+  }
+  ++agg.waves;
+  agg.report.wall_s += wave.wall_s;
+  agg.report.node_hours += wave.node_hours;
+  agg.report.tasks += wave.tasks;
+  agg.report.failed_tasks += wave.failed_tasks;
+  agg.report.retry_attempts += wave.retry_attempts;
+  agg.report.rerouted_tasks += wave.rerouted_tasks;
+  agg.util_weight += wave.mean_utilization * wave.wall_s;
+  agg.report.mean_utilization = agg.report.wall_s > 0.0 ? agg.util_weight / agg.report.wall_s : 0.0;
+  agg.report.finish_spread_s = wave.finish_spread_s;
+  agg.report.faults.merge(wave.faults);
+}
+
+// Pop this wave's entries out of `pending` per the membership policy.
+// FairShare is deficit round-robin: every backlogged tenant earns
+// quantum x weight residues of credit, then queued entries admit in
+// arrival order while their tenant's credit covers the record length.
+std::vector<PendingEntry> select_wave(std::vector<PendingEntry>& pending,
+                                      const std::vector<ProteinRecord>& records,
+                                      const ServiceConfig& svc,
+                                      const std::vector<double>& weights,
+                                      std::vector<double>& deficit,
+                                      std::vector<double>& max_deficit) {
+  const std::size_t limit =
+      svc.admit_limit == 0 ? pending.size() : std::min(svc.admit_limit, pending.size());
+  std::vector<std::size_t> take;
+  take.reserve(limit);
+  switch (svc.policy) {
+    case OrderingPolicy::kFifo: {
+      for (std::size_t i = 0; i < limit; ++i) take.push_back(i);
+      break;
+    }
+    case OrderingPolicy::kLengthSorted:
+    case OrderingPolicy::kShortestFirst: {
+      std::vector<std::size_t> order(pending.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      const bool longest = svc.policy == OrderingPolicy::kLengthSorted;
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const int la = records[pending[a].record].length();
+        const int lb = records[pending[b].record].length();
+        return longest ? la > lb : la < lb;
+      });
+      take.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(limit));
+      std::sort(take.begin(), take.end());
+      break;
+    }
+    case OrderingPolicy::kFairShare: {
+      std::vector<char> taken(pending.size(), 0);
+      std::size_t count = 0;
+      // Top up until at least one entry admits (a record longer than one
+      // quantum needs several), with a hard cap as a safety valve.
+      for (int round = 0; count == 0 && round < 64; ++round) {
+        for (std::size_t t = 0; t < weights.size(); ++t) {
+          bool backlogged = false;
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (!taken[i] && pending[i].tenant == t) {
+              backlogged = true;
+              break;
+            }
+          }
+          if (backlogged) deficit[t] += svc.fair_quantum * weights[t];
+        }
+        for (std::size_t i = 0; i < pending.size() && count < limit; ++i) {
+          if (taken[i]) continue;
+          const double cost = static_cast<double>(records[pending[i].record].length());
+          if (deficit[pending[i].tenant] + 1e-9 >= cost) {
+            deficit[pending[i].tenant] -= cost;
+            taken[i] = 1;
+            ++count;
+          }
+        }
+      }
+      if (count == 0 && !pending.empty()) taken[0] = 1;  // never stall the queue
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (taken[i]) take.push_back(i);
+      }
+      break;
+    }
+  }
+
+  std::vector<PendingEntry> admitted;
+  admitted.reserve(take.size());
+  std::vector<char> is_taken(pending.size(), 0);
+  for (const std::size_t i : take) is_taken[i] = 1;
+  std::vector<PendingEntry> rest;
+  rest.reserve(pending.size() - take.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (is_taken[i]) {
+      admitted.push_back(std::move(pending[i]));
+    } else {
+      rest.push_back(std::move(pending[i]));
+    }
+  }
+  pending = std::move(rest);
+
+  // Peak unspent credit is the bounded-starvation witness; idle tenants
+  // then forfeit their hoard so credit cannot accumulate while a tenant
+  // has nothing queued.
+  for (std::size_t t = 0; t < deficit.size(); ++t) {
+    max_deficit[t] = std::max(max_deficit[t], deficit[t]);
+    bool backlogged = false;
+    for (const auto& e : pending) {
+      if (e.tenant == t) {
+        backlogged = true;
+        break;
+      }
+    }
+    if (!backlogged) deficit[t] = 0.0;
+  }
+  return admitted;
+}
+
+std::string tenant_label(const ServiceConfig& svc, std::size_t tenant) {
+  if (tenant < svc.tenant_names.size() && !svc.tenant_names[tenant].empty()) {
+    return svc.tenant_names[tenant];
+  }
+  return format("tenant%zu", tenant);
+}
+
+}  // namespace
+
+std::uint64_t service_fingerprint(const PipelineConfig& cfg,
+                                  const std::vector<ProteinRecord>& records,
+                                  const std::vector<ArrivalEvent>& arrivals,
+                                  const ServiceConfig& service) {
+  if (degenerate_stream(arrivals, records.size()) &&
+      service.policy == OrderingPolicy::kLengthSorted) {
+    return campaign_fingerprint(cfg, records);
+  }
+  PipelineConfig effective = cfg;
+  effective.order = policy_task_order(service.policy);
+  std::uint64_t h = mix64(campaign_fingerprint(effective, records), arrivals_fingerprint(arrivals));
+  h = mix64(h, static_cast<std::uint64_t>(service.policy));
+  h = mix64(h, static_cast<std::uint64_t>(service.admit_limit));
+  h = mix64(h, stable_hash64(format("%.17g", service.fair_quantum)));
+  for (const double w : service.tenant_weights) {
+    h = mix64(h, stable_hash64(format("%.17g", w)));
+  }
+  return h;
+}
+
+CampaignService::CampaignService(const FoldUniverse& universe, PipelineConfig config,
+                                 ServiceConfig service)
+    : universe_(&universe), config_(std::move(config)), service_(std::move(service)) {}
+
+ServiceReport CampaignService::run(const std::vector<ProteinRecord>& records,
+                                   const std::vector<ArrivalEvent>& arrivals,
+                                   CampaignJournal* journal, obs::TraceSink* sink,
+                                   store::ArtifactStore* store) const {
+  const std::size_t n = records.size();
+  // The degenerate stream under the default policy IS the batch
+  // campaign: one wave, the config's own task order, the plain
+  // fingerprint, no wave tags -- byte-identical to the monolithic
+  // pipeline (see header contract).
+  const bool inherit =
+      degenerate_stream(arrivals, n) && service_.policy == OrderingPolicy::kLengthSorted;
+
+  PipelineConfig cfg = config_;
+  if (!inherit) cfg.order = policy_task_order(service_.policy);
+
+  ServiceReport rep;
+  rep.requests.resize(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    rep.requests[i].request_id = arrivals[i].request_id;
+    rep.requests[i].tenant = arrivals[i].tenant;
+    rep.requests[i].record = arrivals[i].record;
+    rep.requests[i].arrival_s = arrivals[i].time_s;
+  }
+
+  if (journal) journal->open(service_fingerprint(config_, records, arrivals, service_));
+
+  // Campaign-global stage state carried across waves.
+  std::vector<InputFeatures> features(n);
+  InferenceStageResult inf;
+  inf.targets.resize(n);
+  InferenceCarry inf_carry;
+  RelaxCarry relax_carry;
+  StageAggregate feat_agg, inf_agg, relax_agg;
+
+  // Per-record service state: queued (a pending entry exists), computed
+  // (a wave retired it; repeats memo-hit), and when/where it completed.
+  std::vector<char> queued(n, 0);
+  std::vector<char> computed(n, 0);
+  std::vector<double> completed_at(n, 0.0);
+  std::vector<int> computed_wave(n, -1);
+
+  std::size_t num_tenants = 1;
+  for (const auto& ev : arrivals) num_tenants = std::max(num_tenants, ev.tenant + 1);
+  std::vector<double> weights(num_tenants, 1.0);
+  for (std::size_t t = 0; t < num_tenants && t < service_.tenant_weights.size(); ++t) {
+    if (service_.tenant_weights[t] > 0.0) weights[t] = service_.tenant_weights[t];
+  }
+  std::vector<double> deficit(num_tenants, 0.0);
+  rep.max_deficit.assign(num_tenants, 0.0);
+
+  std::vector<PendingEntry> pending;
+  std::size_t cursor = 0;
+  double now = 0.0;
+  double feat_free = 0.0, inf_free = 0.0, relax_free = 0.0;
+
+  // Run one wave over `admitted` at service time `now`; seals the three
+  // stages when `final_wave` (no arrivals left, queue drained), which in
+  // the degenerate case reproduces the batch journal's byte order:
+  // features seal, measured rows, task records, inference seal, relax
+  // rows, relax seal.
+  const auto run_wave = [&](const std::vector<PendingEntry>& admitted, bool final_wave) {
+    const int wave_no = rep.waves++;
+    const int wave_tag = inherit ? -1 : wave_no;
+
+    // Drivers always see the wave in ascending record order: membership
+    // is the policy's job, execution order the executor's (cfg.order),
+    // and the store's serial index-ordered call contract holds.
+    std::vector<std::size_t> subset;
+    subset.reserve(admitted.size());
+    for (const auto& e : admitted) subset.push_back(e.record);
+    std::sort(subset.begin(), subset.end());
+
+    SimulatedExecutor feat_exec = make_stage_executor(cfg, StageKind::kFeatures);
+    const StageWaveOutcome fw = FeatureStage().run_subset(
+        {*universe_, cfg, records, feat_exec, journal, sink, store, wave_tag}, subset, features);
+    if (fw.mapped) add_wave(feat_agg, fw.report);
+    if (final_wave && journal && !journal->stage_complete(StageKind::kFeatures)) {
+      journal->record_stage_complete(StageKind::kFeatures, feat_agg.report);
+    }
+    const double feat_end = std::max(now, feat_free) + fw.report.wall_s;
+    feat_free = feat_end;
+
+    const std::size_t kept_before = inf.kept_for_relax.size();
+    SimulatedExecutor inf_exec = make_stage_executor(cfg, StageKind::kInference);
+    const StageWaveOutcome iw = InferenceStage().run_subset(
+        {*universe_, cfg, records, inf_exec, journal, sink, store, wave_tag}, features, subset,
+        inf_carry, inf);
+    if (iw.mapped) add_wave(inf_agg, iw.report);
+    if (final_wave && journal && !journal->stage_complete(StageKind::kInference)) {
+      journal->record_task_records(inf.task_records);
+      journal->record_stage_complete(StageKind::kInference, inf_agg.report);
+    }
+    const double inf_end = std::max(feat_end, inf_free) + iw.report.wall_s;
+    inf_free = inf_end;
+
+    const std::vector<KeptModel> wave_kept(
+        inf.kept_for_relax.begin() + static_cast<std::ptrdiff_t>(kept_before),
+        inf.kept_for_relax.end());
+    SimulatedExecutor relax_exec = make_stage_executor(cfg, StageKind::kRelaxation);
+    const StageWaveOutcome rw = RelaxStage().run_subset(
+        {*universe_, cfg, records, relax_exec, journal, sink, store, wave_tag}, wave_kept, subset,
+        relax_carry, inf.targets);
+    if (rw.mapped) add_wave(relax_agg, rw.report);
+    if (final_wave && journal && !journal->stage_complete(StageKind::kRelaxation)) {
+      journal->record_stage_complete(StageKind::kRelaxation, relax_agg.report);
+    }
+    const double relax_end = std::max(inf_end, relax_free) + rw.report.wall_s;
+    relax_free = relax_end;
+
+    for (const PendingEntry& e : admitted) {
+      computed[e.record] = 1;
+      queued[e.record] = 0;
+      completed_at[e.record] = relax_end;
+      computed_wave[e.record] = wave_no;
+      for (std::size_t k = 0; k < e.request_slots.size(); ++k) {
+        RequestOutcome& o = rep.requests[e.request_slots[k]];
+        o.admission_s = now;
+        o.completion_s = relax_end;
+        o.wave = wave_no;
+        o.cache_hit = k != 0;  // in-flight dedup: rode the opener's wave
+      }
+    }
+    // The next wave can be admitted once the front stage frees up.
+    now = feat_end;
+  };
+
+  while (cursor < arrivals.size() || !pending.empty()) {
+    if (pending.empty() && cursor < arrivals.size()) {
+      now = std::max(now, arrivals[cursor].time_s);
+    }
+    while (cursor < arrivals.size() && arrivals[cursor].time_s <= now) {
+      const ArrivalEvent& ev = arrivals[cursor];
+      RequestOutcome& o = rep.requests[cursor];
+      ++cursor;
+      if (ev.record >= n) {  // out-of-range request: reject instantly
+        o.admission_s = o.completion_s = now;
+        o.cache_hit = true;
+        continue;
+      }
+      if (computed[ev.record]) {
+        // Memo hit: the campaign already computed this record; the
+        // request completes without touching a stage (when the record is
+        // still flowing through later stages, it completes with them).
+        o.admission_s = now;
+        o.completion_s = completed_at[ev.record] <= now ? now : completed_at[ev.record];
+        o.wave = computed_wave[ev.record];
+        o.cache_hit = true;
+        continue;
+      }
+      if (queued[ev.record]) {
+        for (auto& e : pending) {
+          if (e.record == ev.record) {
+            e.request_slots.push_back(static_cast<std::size_t>(&o - rep.requests.data()));
+            break;
+          }
+        }
+        continue;
+      }
+      queued[ev.record] = 1;
+      PendingEntry e;
+      e.record = ev.record;
+      e.tenant = ev.tenant;
+      e.request_slots.push_back(static_cast<std::size_t>(&o - rep.requests.data()));
+      pending.push_back(std::move(e));
+    }
+    rep.queue_depth.push_back({now, static_cast<int>(pending.size())});
+    if (pending.empty()) continue;
+
+    const std::vector<PendingEntry> admitted =
+        select_wave(pending, records, service_, weights, deficit, rep.max_deficit);
+    rep.queue_depth.push_back({now, static_cast<int>(pending.size())});
+    run_wave(admitted, cursor == arrivals.size() && pending.empty());
+  }
+
+  // A zero-record degenerate stream still runs the three (empty) stage
+  // maps so reports and journal bytes match the batch pipeline.
+  if (inherit && rep.waves == 0) run_wave({}, true);
+
+  for (const auto& o : rep.requests) {
+    rep.makespan_s = std::max(rep.makespan_s, o.completion_s);
+    if (o.cache_hit) ++rep.service_cache_hits;
+  }
+
+  CampaignReport& camp = rep.campaign;
+  camp.features = journal && journal->stage_complete(StageKind::kFeatures)
+                      ? *journal->stage_report(StageKind::kFeatures)
+                      : feat_agg.report;
+  camp.inference = journal && journal->stage_complete(StageKind::kInference)
+                       ? *journal->stage_report(StageKind::kInference)
+                       : inf_agg.report;
+  camp.relaxation = journal && journal->stage_complete(StageKind::kRelaxation)
+                        ? *journal->stage_report(StageKind::kRelaxation)
+                        : relax_agg.report;
+  camp.inference_records = journal && journal->stage_complete(StageKind::kInference)
+                               ? journal->inference_task_records()
+                               : std::move(inf.task_records);
+  camp.targets = std::move(inf.targets);
+  camp.plddt = std::move(inf.plddt);
+  camp.ptms = std::move(inf.ptms);
+  camp.recycles = std::move(inf.recycles);
+
+  // Service spans go to the trace only for genuinely streaming runs, so
+  // degenerate/batch traces stay byte-identical across versions.
+  if (sink && sink->active() && !inherit) {
+    obs::ServiceTrace st;
+    st.policy = ordering_policy_name(service_.policy);
+    st.waves = rep.waves;
+    st.makespan_s = rep.makespan_s;
+    st.requests.reserve(rep.requests.size());
+    for (const auto& o : rep.requests) {
+      obs::ServiceRequest r;
+      r.request_id = o.request_id;
+      r.tenant = tenant_label(service_, o.tenant);
+      r.record = static_cast<std::uint64_t>(o.record);
+      r.arrival_s = o.arrival_s;
+      r.admission_s = o.admission_s;
+      r.completion_s = o.completion_s;
+      r.cache_hit = o.cache_hit;
+      r.wave = o.wave;
+      st.requests.push_back(std::move(r));
+    }
+    st.queue_depth.reserve(rep.queue_depth.size());
+    for (const auto& q : rep.queue_depth) st.queue_depth.push_back({q.time_s, q.depth});
+    sink->record_service(st);
+  }
+  return rep;
+}
+
+}  // namespace sf

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/campaign_service.hpp"
+
 namespace sf {
 
 Pipeline::Pipeline(const FoldUniverse& universe, PipelineConfig config)
@@ -10,34 +12,17 @@ Pipeline::Pipeline(const FoldUniverse& universe, PipelineConfig config)
 CampaignReport Pipeline::run(const std::vector<ProteinRecord>& records,
                              CampaignJournal* journal, obs::TraceSink* sink,
                              store::ArtifactStore* store) const {
-  CampaignReport report;
-  if (journal) journal->open(campaign_fingerprint(config_, records));
-
-  // Stage 1: feature generation on the CPU cluster.
-  SimulatedExecutor feature_exec = make_stage_executor(config_, StageKind::kFeatures);
-  const FeatureStageResult features =
-      FeatureStage().run({*universe_, config_, records, feature_exec, journal, sink, store});
-  report.features = features.report;
-
-  // Stage 2: model inference on Summit (OOM tasks retried per policy).
-  SimulatedExecutor inference_exec = make_stage_executor(config_, StageKind::kInference);
-  InferenceStageResult inference = InferenceStage().run(
-      {*universe_, config_, records, inference_exec, journal, sink, store}, features.features);
-  report.inference = inference.report;
-  report.inference_records = std::move(inference.task_records);
-  report.targets = std::move(inference.targets);
-  report.plddt = std::move(inference.plddt);
-  report.ptms = std::move(inference.ptms);
-  report.recycles = std::move(inference.recycles);
-
-  // Stage 3: geometry optimization on Summit GPUs.
-  SimulatedExecutor relax_exec = make_stage_executor(config_, StageKind::kRelaxation);
-  report.relaxation = RelaxStage()
-                          .run({*universe_, config_, records, relax_exec, journal, sink, store},
-                               inference.kept_for_relax, report.targets)
-                          .report;
-
-  return report;
+  // A batch campaign is the degenerate stream: every record arrives at
+  // t=0 and the whole queue drains in a single wave under the default
+  // policy. CampaignService recognizes that shape and runs it with the
+  // plain campaign fingerprint, the config's own task order, and no
+  // wave tags -- stdout, report, journal, and trace are byte-identical
+  // to the pre-streaming monolithic pipeline (locked by
+  // tests/test_campaign_service.cpp).
+  CampaignService service(*universe_, config_, ServiceConfig{});
+  ServiceReport rep = service.run(records, degenerate_arrivals(records.size()), journal, sink,
+                                  store);
+  return std::move(rep.campaign);
 }
 
 }  // namespace sf

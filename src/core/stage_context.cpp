@@ -80,6 +80,12 @@ obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage)
   return info;
 }
 
+obs::StageTraceInfo wave_trace_info(const StageContext& ctx, StageKind stage) {
+  obs::StageTraceInfo info = stage_trace_info(ctx.config, stage);
+  if (ctx.wave >= 0) info.stage += "@" + std::to_string(ctx.wave);
+  return info;
+}
+
 StageReport stage_report_from(const std::string& name, const MapResult& run, int nodes,
                               int tasks) {
   StageReport st;

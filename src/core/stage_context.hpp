@@ -151,6 +151,11 @@ struct StageContext {
   // spans), serving features from the store and replaying the report
   // from the journal -- the warm-resume fast path.
   store::ArtifactStore* store = nullptr;
+  // Wave index when a stage driver is being driven incrementally by the
+  // campaign service (core/campaign_service.hpp). -1 = batch/degenerate:
+  // trace stage names stay exactly those of a monolithic run, which is
+  // what keeps the re-expressed Pipeline::run() byte-identical.
+  int wave = -1;
 
   // Deterministic per-stage RNG stream derived from the campaign seed.
   Rng stage_rng(std::uint64_t stream) const { return Rng(config.seed, stream); }
@@ -180,6 +185,11 @@ SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage
 // from the same pools make_stage_executor() builds from, so a traced
 // simulated campaign reconciles its accounting against its own spans.
 obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage);
+
+// stage_trace_info() with the context's wave tag applied: incremental
+// waves suffix "@<wave>" so every wave's map is its own trace stage;
+// batch contexts (wave < 0) keep the canonical names.
+obs::StageTraceInfo wave_trace_info(const StageContext& ctx, StageKind stage);
 
 // Summarize one executor map() into the campaign's stage report. Wall
 // clock spans both pools (they run concurrently); node-hours cover the

@@ -1,5 +1,7 @@
 #include "core/stage_features.hpp"
 
+#include <numeric>
+
 #include "core/journal.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
@@ -7,32 +9,38 @@
 
 namespace sf {
 
-FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
+StageWaveOutcome FeatureStage::run_subset(const StageContext& ctx,
+                                          const std::vector<std::size_t>& subset,
+                                          std::vector<InputFeatures>& features) const {
   const PipelineConfig& cfg = ctx.config;
   const std::vector<ProteinRecord>& records = ctx.records;
   const std::size_t n = records.size();
-
-  FeatureStageResult out;
-  out.features.resize(n);
+  const std::size_t m = subset.size();
 
   CampaignJournal* journal = ctx.journal;
-  const bool sealed = journal && journal->stage_complete(StageKind::kFeatures);
+  // The sealed fast path is batch-only (ctx.wave < 0): a streaming wave
+  // must re-price its tasks even on resume, because the service's
+  // virtual clocks -- and therefore wave membership itself -- derive
+  // from the per-wave stage walls. Science still replays row-by-row.
+  const bool sealed =
+      ctx.wave < 0 && journal && journal->stage_complete(StageKind::kFeatures);
   const bool tracing = ctx.tracing();
   const bool caching = ctx.caching();
 
-  // Store lookups happen here, outside the executor map, in record
-  // order: the threaded backend runs task functions concurrently, and
-  // the store's determinism contract requires a serial, index-ordered
-  // call sequence.
+  StageWaveOutcome out;
+
+  // Store lookups happen here, outside the executor map, in wave order:
+  // the threaded backend runs task functions concurrently, and the
+  // store's determinism contract requires a serial call sequence.
   std::vector<char> hit(n, 0);
   if (caching) {
     ctx.store->begin_stage("features", stage_store_pricer(cfg, StageKind::kFeatures));
-    for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t i : subset) {
       const auto key = stage_artifact_key(cfg, StageKind::kFeatures, records[i]);
       if (const auto payload = ctx.store->get(key)) {
         InputFeatures f;
         if (store::decode_features(*payload, f)) {
-          out.features[i] = f;
+          features[i] = f;
           hit[i] = 1;
         }
       }
@@ -49,31 +57,33 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
   // warm-resume fast path the store exists for, and the trace records
   // zero feature-stage task attempts as evidence the stage never ran.
   if (sealed && (caching || !tracing)) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!hit[i]) out.features[i] = sample_features(records[i], cfg.library);
+    for (const std::size_t i : subset) {
+      if (!hit[i]) features[i] = sample_features(records[i], cfg.library);
     }
     if (caching) {
-      for (std::size_t i = 0; i < n; ++i) {
+      for (const std::size_t i : subset) {
         if (hit[i]) continue;
         ctx.store->put(stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
                        records[i].sequence.id() + "/features",
-                       store::encode_features(out.features[i]),
-                       out.features[i].feature_bytes());
+                       store::encode_features(features[i]), features[i].feature_bytes());
       }
     }
-    out.report = *journal->stage_report(StageKind::kFeatures);
     if (tracing) {
       // Register the stage (empty: no rounds, no spans) so the trace
       // names it, then attach the cache counters that justify the skip.
-      ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kFeatures));
+      ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kFeatures));
       if (caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
     }
     return out;
   }
 
-  std::vector<TaskSpec> tasks(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tasks[i] = {static_cast<std::uint64_t>(i), records[i].sequence.id() + "/features",
+  // Task ids stay global record indices regardless of wave membership,
+  // so spans and journals from incremental and batch runs name the same
+  // work the same way.
+  std::vector<TaskSpec> tasks(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = subset[k];
+    tasks[k] = {static_cast<std::uint64_t>(i), records[i].sequence.id() + "/features",
                 static_cast<double>(records[i].length()), i};
   }
   apply_order(tasks, cfg.order, cfg.seed);
@@ -87,7 +97,7 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
   // is realized by the sealed-stage skip above on resume.
   const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
     const std::size_t i = t.payload;
-    if (!hit[i]) out.features[i] = sample_features(records[i], cfg.library);
+    if (!hit[i]) features[i] = sample_features(records[i], cfg.library);
     TaskOutcome o;
     o.sim_duration_s = cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
                                                      andes().cpu_node_speed);
@@ -105,22 +115,39 @@ FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
     retry.backoff_base_s = 5.0;
   }
 
-  if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kFeatures));
+  if (tracing) ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kFeatures));
   const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
   if (caching) {
-    for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t i : subset) {
       if (hit[i]) continue;
       ctx.store->put(stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
-                     records[i].sequence.id() + "/features",
-                     store::encode_features(out.features[i]), out.features[i].feature_bytes());
+                     records[i].sequence.id() + "/features", store::encode_features(features[i]),
+                     features[i].feature_bytes());
     }
     if (tracing) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
   }
+  out.mapped = true;
+  out.report = stage_report_from("features", run, stage_nodes(cfg, StageKind::kFeatures),
+                                 static_cast<int>(m));
+  return out;
+}
+
+FeatureStageResult FeatureStage::run(const StageContext& ctx) const {
+  const std::size_t n = ctx.records.size();
+
+  FeatureStageResult out;
+  out.features.resize(n);
+
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const StageWaveOutcome wave = run_subset(ctx, all, out.features);
+
+  CampaignJournal* journal = ctx.journal;
+  const bool sealed = journal && journal->stage_complete(StageKind::kFeatures);
   if (sealed) {
     out.report = *journal->stage_report(StageKind::kFeatures);
   } else {
-    out.report = stage_report_from("features", run, stage_nodes(cfg, StageKind::kFeatures),
-                                   static_cast<int>(n));
+    out.report = wave.report;
     if (journal) journal->record_stage_complete(StageKind::kFeatures, out.report);
   }
   return out;

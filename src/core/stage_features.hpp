@@ -19,9 +19,27 @@ struct FeatureStageResult {
   std::vector<InputFeatures> features;  // one per input record
 };
 
+// One incremental submit/drain through a stage driver: the report of
+// this wave's executor map, and whether the map actually ran (a
+// journal-sealed stage can skip it entirely). Stage completion --
+// journaling the final report -- belongs to the caller, which knows
+// when no further waves are coming.
+struct StageWaveOutcome {
+  StageReport report;
+  bool mapped = false;
+};
+
 class FeatureStage {
  public:
+  // Batch entry point: one wave covering every record, sealed at the
+  // end. Byte-identical to the pre-streaming monolithic driver.
   FeatureStageResult run(const StageContext& ctx) const;
+
+  // Incremental path: generate features for `subset` (global record
+  // indices, in wave order), writing into `features` (sized to the full
+  // record list). Never seals the stage.
+  StageWaveOutcome run_subset(const StageContext& ctx, const std::vector<std::size_t>& subset,
+                              std::vector<InputFeatures>& features) const;
 };
 
 }  // namespace sf

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <numeric>
 
 #include "core/journal.hpp"
-#include "core/recycle_model.hpp"
 #include "fold/memory_model.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
@@ -54,43 +54,53 @@ JournalMeasuredRow row_from_artifact(std::size_t index, const store::PredictionA
 
 }  // namespace
 
-InferenceStageResult InferenceStage::run(const StageContext& ctx,
-                                         const std::vector<InputFeatures>& features) const {
+StageWaveOutcome InferenceStage::run_subset(const StageContext& ctx,
+                                            const std::vector<InputFeatures>& features,
+                                            const std::vector<std::size_t>& subset,
+                                            InferenceCarry& carry,
+                                            InferenceStageResult& out) const {
   const PipelineConfig& cfg = ctx.config;
   const std::vector<ProteinRecord>& records = ctx.records;
   const std::size_t n = records.size();
   CampaignJournal* journal = ctx.journal;
-  const bool sealed = journal && journal->stage_complete(StageKind::kInference);
+  // Batch-only seal skip (see stage_features.cpp): streaming waves
+  // re-price their tasks on resume so the service clocks reproduce.
+  const bool sealed =
+      ctx.wave < 0 && journal && journal->stage_complete(StageKind::kInference);
   const bool tracing = ctx.tracing();
-
-  InferenceStageResult out;
-  out.targets.resize(n);
 
   FoldingEngine engine(ctx.universe, cfg.engine);
 
-  // Choose the quality-measured subset (deterministic shuffle).
-  std::vector<std::size_t> index(n);
-  for (std::size_t i = 0; i < n; ++i) index[i] = i;
-  {
-    Rng shuffle_rng = ctx.stage_rng(0x5A3F);
-    shuffle_rng.shuffle(index);
+  // Campaign-global decisions, fixed once regardless of how the record
+  // stream is sliced into waves: the quality-measured subset (a
+  // deterministic shuffle of ALL records), its visit order, and the
+  // relax-kept quota.
+  if (!carry.initialized) {
+    carry.initialized = true;
+    carry.measured_order.resize(n);
+    std::iota(carry.measured_order.begin(), carry.measured_order.end(), std::size_t{0});
+    {
+      Rng shuffle_rng = ctx.stage_rng(0x5A3F);
+      shuffle_rng.shuffle(carry.measured_order);
+    }
+    carry.measured_count =
+        cfg.quality_sample <= 0
+            ? n
+            : std::min<std::size_t>(n, static_cast<std::size_t>(cfg.quality_sample));
+    carry.measured.assign(n, false);
+    for (std::size_t k = 0; k < carry.measured_count; ++k)
+      carry.measured[carry.measured_order[k]] = true;
+    carry.relax_measured_target = std::min<std::size_t>(
+        carry.measured_count, static_cast<std::size_t>(std::max(0, cfg.relax_sample)));
+    carry.passes.resize(n);
+    carry.oom.resize(n);
+    carry.processed.assign(n, 0);
+    out.kept_for_relax.reserve(carry.relax_measured_target);
   }
-  const std::size_t measured_count =
-      cfg.quality_sample <= 0
-          ? n
-          : std::min<std::size_t>(n, static_cast<std::size_t>(cfg.quality_sample));
-  std::vector<bool> measured(n, false);
-  for (std::size_t k = 0; k < measured_count; ++k) measured[index[k]] = true;
 
-  RecycleModel recycle_model;
-  // Per-(target, model) passes and OOM flags; structures kept only for
-  // the relaxation-measured prefix.
-  std::vector<std::array<int, 5>> passes(n);
-  std::vector<std::array<bool, 5>> oom(n);
-  const std::size_t relax_measured_target =
-      std::min<std::size_t>(measured_count, static_cast<std::size_t>(
-                                                std::max(0, cfg.relax_sample)));
-  out.kept_for_relax.reserve(relax_measured_target);
+  std::vector<char> in_wave(n, 0);
+  for (const std::size_t i : subset) in_wave[i] = 1;
+
   // Kept structures only matter while the relaxation stage still has to
   // run; once it is sealed in the journal, journaled targets restore
   // without touching the engine at all. Under tracing the relaxation
@@ -98,15 +108,19 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
   // task durations) must come from the same kept structures.
   const bool need_kept_structures =
       tracing || !(journal && journal->stage_complete(StageKind::kRelaxation));
-  std::size_t kept_count = 0;  // mirrors the original run's kept quota
 
   const bool caching = ctx.caching();
   if (caching) {
     ctx.store->begin_stage("inference", stage_store_pricer(cfg, StageKind::kInference));
   }
 
-  for (std::size_t k = 0; k < measured_count; ++k) {
-    const std::size_t i = index[k];
+  // Measured targets of this wave, visited in the campaign-global
+  // shuffle order so the recycle model observes (and the quality sample
+  // sets accumulate) identically however the waves are cut.
+  for (std::size_t k = 0; k < carry.measured_count; ++k) {
+    const std::size_t i = carry.measured_order[k];
+    if (!in_wave[i] || carry.processed[i]) continue;
+    carry.processed[i] = 1;
     const ProteinRecord& rec = records[i];
     TargetResult& tr = out.targets[i];
     tr.id = rec.sequence.id();
@@ -115,18 +129,19 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     tr.measured = true;
 
     const JournalMeasuredRow* row = journal ? journal->measured_row(i) : nullptr;
-    const bool would_keep = row != nullptr && !row->dropped && kept_count < relax_measured_target;
+    const bool would_keep =
+        row != nullptr && !row->dropped && carry.kept_count < carry.relax_measured_target;
     if (row != nullptr && !(would_keep && need_kept_structures)) {
       // Checkpointed target: replay the journal row instead of running
       // the engine -- per-model passes, recycle-model observations, and
       // quality samples all restore in the original order.
       for (std::size_t m = 0; m < 5; ++m) {
         const bool model_oom = (row->oom_mask >> m) & 1u;
-        oom[i][m] = model_oom;
-        passes[i][m] = row->passes[m];
+        carry.oom[i][m] = model_oom;
+        carry.passes[i][m] = row->passes[m];
         if (model_oom) continue;
-        recycle_model.observe(rec.hardness, rec.length(), row->passes[m] - 1,
-                              ((row->conv_mask >> m) & 1u) != 0);
+        carry.recycle_model.observe(rec.hardness, rec.length(), row->passes[m] - 1,
+                                    ((row->conv_mask >> m) & 1u) != 0);
       }
       if (row->dropped) {
         tr.oom = true;
@@ -142,7 +157,7 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       out.plddt.add(row->plddt);
       out.ptms.add(row->ptms);
       out.recycles.add(row->recycles);
-      if (would_keep) ++kept_count;
+      if (would_keep) ++carry.kept_count;
       continue;
     }
 
@@ -160,15 +175,16 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
               ctx.store->get(stage_artifact_key(cfg, StageKind::kInference, rec))) {
         have_art = store::decode_prediction(*payload, art);
       }
-      const bool art_keep = have_art && !art.dropped && kept_count < relax_measured_target;
+      const bool art_keep =
+          have_art && !art.dropped && carry.kept_count < carry.relax_measured_target;
       if (have_art && !(art_keep && need_kept_structures && !art.has_structure)) {
         for (std::size_t m = 0; m < 5; ++m) {
           const bool model_oom = (art.oom_mask >> m) & 1u;
-          oom[i][m] = model_oom;
-          passes[i][m] = art.passes[m];
+          carry.oom[i][m] = model_oom;
+          carry.passes[i][m] = art.passes[m];
           if (model_oom) continue;
-          recycle_model.observe(rec.hardness, rec.length(), art.passes[m] - 1,
-                                ((art.conv_mask >> m) & 1u) != 0);
+          carry.recycle_model.observe(rec.hardness, rec.length(), art.passes[m] - 1,
+                                      ((art.conv_mask >> m) & 1u) != 0);
         }
         if (journal) journal->record_measured(row_from_artifact(i, art));
         if (art.dropped) {
@@ -186,7 +202,7 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
         out.ptms.add(art.ptms);
         out.recycles.add(art.recycles);
         if (art_keep) {
-          ++kept_count;
+          ++carry.kept_count;
           if (need_kept_structures) out.kept_for_relax.push_back({i, art.structure});
         }
         continue;
@@ -196,23 +212,25 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     const auto preds = engine.predict_all_models(rec, features[i], cfg.preset);
     unsigned conv_mask = 0;
     for (std::size_t m = 0; m < preds.size(); ++m) {
-      oom[i][m] = preds[m].out_of_memory;
+      carry.oom[i][m] = preds[m].out_of_memory;
       if (preds[m].out_of_memory) {
-        passes[i][m] = 1;  // loaded, attempted, died
+        carry.passes[i][m] = 1;  // loaded, attempted, died
         continue;
       }
-      passes[i][m] = preds[m].trace.recycles_run + 1;
+      carry.passes[i][m] = preds[m].trace.recycles_run + 1;
       if (preds[m].trace.converged) conv_mask |= 1u << m;
-      recycle_model.observe(rec.hardness, rec.length(), preds[m].trace.recycles_run,
-                            preds[m].trace.converged);
+      carry.recycle_model.observe(rec.hardness, rec.length(), preds[m].trace.recycles_run,
+                                  preds[m].trace.converged);
     }
     const int top = top_model_index(preds);
     if (top < 0) {
       tr.oom = true;
-      if (journal) journal->record_measured(make_measured_row(i, tr, passes[i], oom[i], conv_mask));
+      if (journal)
+        journal->record_measured(make_measured_row(i, tr, carry.passes[i], carry.oom[i], conv_mask));
       if (caching) {
         store::PredictionArtifact a;
-        const JournalMeasuredRow row2 = make_measured_row(i, tr, passes[i], oom[i], conv_mask);
+        const JournalMeasuredRow row2 =
+            make_measured_row(i, tr, carry.passes[i], carry.oom[i], conv_mask);
         a.top_model = row2.top_model;
         a.dropped = true;
         for (int m = 0; m < 5; ++m) a.passes[m] = row2.passes[m];
@@ -235,11 +253,12 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     out.plddt.add(best.plddt);
     out.ptms.add(best.ptms);
     out.recycles.add(best.trace.recycles_run);
-    if (kept_count < relax_measured_target) {
-      ++kept_count;
+    if (carry.kept_count < carry.relax_measured_target) {
+      ++carry.kept_count;
       out.kept_for_relax.push_back({i, best.structure});
     }
-    if (journal) journal->record_measured(make_measured_row(i, tr, passes[i], oom[i], conv_mask));
+    if (journal)
+      journal->record_measured(make_measured_row(i, tr, carry.passes[i], carry.oom[i], conv_mask));
     if (caching) {
       store::PredictionArtifact a;
       a.top_model = tr.top_model;
@@ -250,8 +269,8 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
       a.recycles = tr.recycles;
       a.converged = tr.converged;
       for (int m = 0; m < 5; ++m) {
-        a.passes[m] = passes[i][static_cast<std::size_t>(m)];
-        if (oom[i][static_cast<std::size_t>(m)]) a.oom_mask |= 1u << m;
+        a.passes[m] = carry.passes[i][static_cast<std::size_t>(m)];
+        if (carry.oom[i][static_cast<std::size_t>(m)]) a.oom_mask |= 1u << m;
       }
       a.conv_mask = conv_mask;
       a.has_structure = true;
@@ -262,10 +281,12 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     }
   }
 
-  // Unmeasured targets: recycle counts from the measured empirical
-  // distribution; OOM from the deterministic memory model.
+  // Unmeasured targets of this wave: recycle counts from the measured
+  // empirical distribution as observed so far; OOM from the
+  // deterministic memory model.
   for (std::size_t i = 0; i < n; ++i) {
-    if (measured[i]) continue;
+    if (carry.measured[i] || !in_wave[i] || carry.processed[i]) continue;
+    carry.processed[i] = 1;
     const ProteinRecord& rec = records[i];
     TargetResult& tr = out.targets[i];
     tr.id = rec.sequence.id();
@@ -277,13 +298,13 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
         inference_memory_gb(rec.length(), cfg.preset.ensembles) > cfg.engine.memory_budget_gb;
     bool any_ok = false;
     for (std::size_t m = 0; m < 5; ++m) {
-      oom[i][m] = task_oom;
+      carry.oom[i][m] = task_oom;
       if (task_oom) {
-        passes[i][m] = 1;
+        carry.passes[i][m] = 1;
         continue;
       }
-      const auto draw = recycle_model.sample(rec.hardness, rec.length(), rng);
-      passes[i][m] = draw.recycles_run + 1;
+      const auto draw = carry.recycle_model.sample(rec.hardness, rec.length(), rng);
+      carry.passes[i][m] = draw.recycles_run + 1;
       any_ok = true;
       if (m == 0) {
         tr.recycles = draw.recycles_run;
@@ -297,17 +318,14 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
   // the map() below never re-runs, so node-hours are billed once.
   // Under tracing the map re-runs for its spans, but the report and
   // task records still replay from the journal.
-  if (sealed && !tracing) {
-    out.report = *journal->stage_report(StageKind::kInference);
-    out.task_records = journal->inference_task_records();
-    return out;
-  }
+  StageWaveOutcome wave;
+  if (sealed && !tracing) return wave;
 
-  // One task per (target, model), sorted by length descending (the
-  // paper's greedy load balancing).
+  // One task per (target, model) of this wave, ids global so spans from
+  // incremental and batch runs name the same work identically.
   std::vector<TaskSpec> tasks;
-  tasks.reserve(n * 5);
-  for (std::size_t i = 0; i < n; ++i) {
+  tasks.reserve(subset.size() * 5);
+  for (const std::size_t i : subset) {
     for (std::size_t m = 0; m < 5; ++m) {
       TaskSpec t;
       t.id = static_cast<std::uint64_t>(i * 5 + m);
@@ -322,9 +340,9 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
   const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt& at) {
     const PackedTask p = unpack_task(t.payload);
     const int len = records[p.record].length();
-    const int task_passes = passes[p.record][p.model];
+    const int task_passes = carry.passes[p.record][p.model];
     TaskOutcome o;
-    if (!oom[p.record][p.model]) {
+    if (!carry.oom[p.record][p.model]) {
       o.sim_duration_s = cfg.inference_cost.task_seconds(len, task_passes, cfg.preset.ensembles);
       return o;
     }
@@ -357,20 +375,41 @@ InferenceStageResult InferenceStage::run(const StageContext& ctx,
     retry.backoff_base_s = 30.0;
   }
 
-  if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kInference));
+  if (tracing) ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kInference));
   MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
   if (tracing && caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
+  wave.mapped = true;
+  wave.report = stage_report_from("inference", run, stage_nodes(cfg, StageKind::kInference),
+                                  static_cast<int>(tasks.size()));
+  // High-memory reruns bill additional node-hours against their own
+  // (smaller) node count; the stage wall already spans both pools.
+  wave.report.node_hours += node_hours(cfg.highmem_nodes, run.alt_pool_s());
+  if (!sealed) {
+    for (auto& rec : run.primary.records) out.task_records.push_back(std::move(rec));
+  }
+  return wave;
+}
+
+InferenceStageResult InferenceStage::run(const StageContext& ctx,
+                                         const std::vector<InputFeatures>& features) const {
+  const std::size_t n = ctx.records.size();
+  CampaignJournal* journal = ctx.journal;
+
+  InferenceStageResult out;
+  out.targets.resize(n);
+
+  InferenceCarry carry;
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const StageWaveOutcome wave = run_subset(ctx, features, all, carry, out);
+
+  const bool sealed = journal && journal->stage_complete(StageKind::kInference);
   if (sealed) {
     out.report = *journal->stage_report(StageKind::kInference);
     out.task_records = journal->inference_task_records();
     return out;
   }
-  out.report = stage_report_from("inference", run, stage_nodes(cfg, StageKind::kInference),
-                                 static_cast<int>(tasks.size()));
-  // High-memory reruns bill additional node-hours against their own
-  // (smaller) node count; the stage wall already spans both pools.
-  out.report.node_hours += node_hours(cfg.highmem_nodes, run.alt_pool_s());
-  out.task_records = std::move(run.primary.records);
+  out.report = wave.report;
   if (journal) {
     journal->record_task_records(out.task_records);
     journal->record_stage_complete(StageKind::kInference, out.report);

@@ -9,9 +9,12 @@
 // or count as failed -- the paper's Table 1 footnote behaviour.
 #pragma once
 
+#include <array>
 #include <vector>
 
+#include "core/recycle_model.hpp"
 #include "core/stage_context.hpp"
+#include "core/stage_features.hpp"  // StageWaveOutcome
 
 namespace sf {
 
@@ -33,10 +36,40 @@ struct InferenceStageResult {
   SampleSet recycles;
 };
 
+// Cross-wave state for the incremental inference path. The
+// quality-measured subset, its deterministic visit order, and the
+// relax-kept quota are campaign-global decisions fixed on first use;
+// the recycle model and per-(target, model) pass counts accumulate as
+// waves flow through. A fresh carry driven over all records in one
+// wave reproduces the batch run exactly.
+struct InferenceCarry {
+  bool initialized = false;
+  std::vector<std::size_t> measured_order;  // global deterministic shuffle
+  std::vector<bool> measured;               // per record
+  std::size_t measured_count = 0;
+  std::size_t relax_measured_target = 0;
+  std::vector<char> processed;  // per record: measured/unmeasured loop ran
+  RecycleModel recycle_model;
+  std::vector<std::array<int, 5>> passes;
+  std::vector<std::array<bool, 5>> oom;
+  std::size_t kept_count = 0;  // relax-kept quota consumed so far
+};
+
 class InferenceStage {
  public:
+  // Batch entry point: one wave covering every record, sealed at the
+  // end. Byte-identical to the pre-streaming monolithic driver.
   InferenceStageResult run(const StageContext& ctx,
                            const std::vector<InputFeatures>& features) const;
+
+  // Incremental path: run inference for `subset` (global record
+  // indices, in wave order), accumulating targets, samples, kept
+  // models, and task records into `out` (targets must be pre-sized to
+  // the full record list). Never seals the stage; the caller seals once
+  // no further waves are coming.
+  StageWaveOutcome run_subset(const StageContext& ctx, const std::vector<InputFeatures>& features,
+                              const std::vector<std::size_t>& subset, InferenceCarry& carry,
+                              InferenceStageResult& out) const;
 };
 
 }  // namespace sf

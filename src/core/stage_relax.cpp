@@ -1,6 +1,7 @@
 #include "core/stage_relax.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "bio/amino_acid.hpp"
 #include "core/journal.hpp"
@@ -21,8 +22,10 @@ void apply_relax_row(const JournalRelaxRow& row, TargetResult& tr) {
 
 }  // namespace
 
-RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<KeptModel>& kept,
-                                 std::vector<TargetResult>& targets) const {
+StageWaveOutcome RelaxStage::run_subset(const StageContext& ctx,
+                                        const std::vector<KeptModel>& wave_kept,
+                                        const std::vector<std::size_t>& subset, RelaxCarry& carry,
+                                        std::vector<TargetResult>& targets) const {
   const PipelineConfig& cfg = ctx.config;
   const std::vector<ProteinRecord>& records = ctx.records;
   const std::size_t n = records.size();
@@ -33,27 +36,31 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
   // Under tracing the main path runs instead so the map emits its
   // spans; kept targets reuse their journaled calibration samples, so
   // every task duration (and therefore the schedule) is unchanged.
-  const bool sealed = journal && journal->stage_complete(StageKind::kRelaxation);
+  // Batch-only seal skip (see stage_features.cpp): streaming waves
+  // re-price their tasks on resume so the service clocks reproduce.
+  const bool sealed =
+      ctx.wave < 0 && journal && journal->stage_complete(StageKind::kRelaxation);
   const bool tracing = ctx.tracing();
+  StageWaveOutcome wave;
   if (sealed && !tracing) {
-    for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t i : subset) {
       if (const JournalRelaxRow* row = journal->relax_row(i)) apply_relax_row(*row, targets[i]);
     }
-    RelaxStageResult out;
-    out.report = *journal->stage_report(StageKind::kRelaxation);
-    return out;
+    return wave;
   }
 
-  // Real minimizations on the kept subset; fit evals ~ a + b * atoms.
+  // Real minimizations on this wave's kept models; fit evals ~ a +
+  // b * atoms over every calibration sample accumulated so far.
   // Targets already journaled from an interrupted run reuse their
   // recorded calibration samples instead of re-minimizing.
   const bool caching = ctx.caching();
   if (caching) {
     ctx.store->begin_stage("relaxation", stage_store_pricer(cfg, StageKind::kRelaxation));
   }
-  std::vector<double> fit_atoms;
-  std::vector<double> fit_evals;
-  for (const auto& k : kept) {
+  const std::size_t fit_base = carry.fit_evals.size();
+  std::vector<double>& fit_atoms = carry.fit_atoms;
+  std::vector<double>& fit_evals = carry.fit_evals;
+  for (const auto& k : wave_kept) {
     TargetResult& tr = targets[k.record_index];
     if (const JournalRelaxRow* row = journal ? journal->relax_row(k.record_index) : nullptr) {
       apply_relax_row(*row, tr);
@@ -129,12 +136,13 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
   if (fit_atoms.size() >= 2) evals_fit = linear_fit(fit_atoms, fit_evals);
 
   // Per-record heavy-atom counts, computed once and shared by the task
-  // build and the duration pricing below.
+  // build and the duration pricing below. Task ids stay global record
+  // indices regardless of wave membership.
   std::vector<double> heavy_atoms(n, 0.0);
   std::vector<TaskSpec> tasks;
-  tasks.reserve(n);
+  tasks.reserve(subset.size());
   std::vector<double> task_evals(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  for (const std::size_t i : subset) {
     if (targets[i].oom) continue;
     double atoms = 0.0;
     for (char aa : records[i].sequence.residues()) atoms += aa_heavy_atoms(aa);
@@ -147,9 +155,10 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
     task_evals[i] = std::max(50.0, evals_fit.intercept + evals_fit.slope * atoms);
     tasks.push_back(t);
   }
-  // Replace fitted counts with measured ones where available.
-  for (std::size_t k = 0; k < kept.size() && k < fit_evals.size(); ++k) {
-    task_evals[kept[k].record_index] = fit_evals[k];
+  // Replace fitted counts with measured ones where available (this
+  // wave's kept models pair 1:1 with the samples they appended).
+  for (std::size_t k = 0; k < wave_kept.size() && fit_base + k < fit_evals.size(); ++k) {
+    task_evals[wave_kept[k].record_index] = fit_evals[fit_base + k];
   }
   apply_order(tasks, cfg.order, cfg.seed);
 
@@ -171,15 +180,31 @@ RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<Kept
     retry.backoff_base_s = 10.0;
   }
 
-  if (tracing) ctx.sink->begin_stage(stage_trace_info(cfg, StageKind::kRelaxation));
+  if (tracing) ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kRelaxation));
   const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
   if (tracing && caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
+  wave.mapped = true;
+  wave.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),
+                                  static_cast<int>(tasks.size()));
+  return wave;
+}
+
+RelaxStageResult RelaxStage::run(const StageContext& ctx, const std::vector<KeptModel>& kept,
+                                 std::vector<TargetResult>& targets) const {
+  const std::size_t n = ctx.records.size();
+  CampaignJournal* journal = ctx.journal;
+
+  RelaxCarry carry;
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const StageWaveOutcome wave = run_subset(ctx, kept, all, carry, targets);
+
   RelaxStageResult out;
+  const bool sealed = journal && journal->stage_complete(StageKind::kRelaxation);
   if (sealed) {
     out.report = *journal->stage_report(StageKind::kRelaxation);
   } else {
-    out.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),
-                                   static_cast<int>(tasks.size()));
+    out.report = wave.report;
     if (journal) journal->record_stage_complete(StageKind::kRelaxation, out.report);
   }
   return out;

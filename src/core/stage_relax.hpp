@@ -18,13 +18,31 @@ struct RelaxStageResult {
   StageReport report;
 };
 
+// Cross-wave calibration state for the incremental relaxation path:
+// every measured (atoms, evals) sample observed so far, in observation
+// order. The linear fit pricing a wave's unmeasured targets uses all
+// samples accumulated up to that wave; a fresh carry driven over all
+// records in one wave reproduces the batch fit exactly.
+struct RelaxCarry {
+  std::vector<double> fit_atoms;
+  std::vector<double> fit_evals;
+};
+
 class RelaxStage {
  public:
-  // Runs the relaxation workflow over every non-dropped target,
-  // annotating `targets` in place with measured relaxation outcomes for
-  // the kept models.
+  // Batch entry point: runs the relaxation workflow over every
+  // non-dropped target, annotating `targets` in place with measured
+  // relaxation outcomes for the kept models. Byte-identical to the
+  // pre-streaming monolithic driver.
   RelaxStageResult run(const StageContext& ctx, const std::vector<KeptModel>& kept,
                        std::vector<TargetResult>& targets) const;
+
+  // Incremental path: relax this wave's kept models (`wave_kept`, all of
+  // whose record indices must lie in `subset`) and price relax tasks for
+  // every non-dropped record in `subset`. Never seals the stage.
+  StageWaveOutcome run_subset(const StageContext& ctx, const std::vector<KeptModel>& wave_kept,
+                              const std::vector<std::size_t>& subset, RelaxCarry& carry,
+                              std::vector<TargetResult>& targets) const;
 };
 
 }  // namespace sf

@@ -6,6 +6,7 @@
 #include "fold/memory_model.hpp"
 #include "geom/backbone.hpp"
 #include "geom/distogram.hpp"
+#include "native/render.hpp"
 #include "score/lddt.hpp"
 #include "score/tm_score.hpp"
 

@@ -1,0 +1,347 @@
+#include "native/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bio/amino_acid.hpp"
+#include "geom/backbone.hpp"
+#include "geom/violations.hpp"
+#include "relax/forcefield.hpp"
+#include "relax/minimize.hpp"
+#include "util/rng.hpp"
+
+namespace sf {
+
+namespace {
+
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+constexpr double kCaBond = 3.8;
+
+// --- length-stable fold rendering ------------------------------------
+//
+// A fold render is an assembly of *rigid secondary-structure elements*:
+// each element's local curve comes from a per-(fold, candidate, element)
+// torsion table anchored at element-relative positions, its global
+// orientation Q_k and its outgoing junction direction u_k are fixed
+// properties of the fold. Consecutive elements are chained by pure
+// translation (first CA of element k placed one bond from the last CA of
+// element k-1 along u_k). The decisive property: changing an element's
+// rendered length *translates* everything downstream but never rotates
+// it -- which is how insertions behave in real homologous structures, and
+// what keeps same-fold renders at different lengths structurally similar
+// (TM-alignable), the premise of the paper's §4.6 analysis.
+
+Mat3 random_rotation(Rng& rng) {
+  // Uniform rotation from a normalized Gaussian quaternion.
+  double w = rng.normal(), x = rng.normal(), y = rng.normal(), z = rng.normal();
+  const double n = std::sqrt(w * w + x * x + y * y + z * z);
+  if (n < 1e-12) return Mat3::identity();
+  w /= n;
+  x /= n;
+  y /= n;
+  z /= n;
+  Mat3 m;
+  m.m[0][0] = w * w + x * x - y * y - z * z;
+  m.m[0][1] = 2 * (x * y - w * z);
+  m.m[0][2] = 2 * (x * z + w * y);
+  m.m[1][0] = 2 * (x * y + w * z);
+  m.m[1][1] = w * w - x * x + y * y - z * z;
+  m.m[1][2] = 2 * (y * z - w * x);
+  m.m[2][0] = 2 * (x * z - w * y);
+  m.m[2][1] = 2 * (y * z + w * x);
+  m.m[2][2] = w * w - x * x - y * y + z * z;
+  return m;
+}
+
+// Local curve of one element at rendered span `span`: torsions sampled
+// from the element's canonical table at proportional base positions.
+std::vector<Vec3> element_curve(const FoldSpec& fold, std::size_t k, int span, int candidate) {
+  const SSElement& e = fold.elements[k];
+  std::vector<double> theta(static_cast<std::size_t>(span), 110.0 * kDegToRad);
+  std::vector<double> tau(static_cast<std::size_t>(span), 0.0);
+  const SsGeometry g = ss_geometry(e.type);
+  for (int j = 0; j < span; ++j) {
+    const int base_idx = span > 0 ? j * std::max(1, e.length) / span : 0;
+    Rng r(mix64(fold.torsion_seed, static_cast<std::uint64_t>(candidate)),
+          mix64((static_cast<std::uint64_t>(k) << 32) | static_cast<std::uint64_t>(base_idx),
+                fold.fold_id));
+    theta[static_cast<std::size_t>(j)] = r.normal(g.theta_deg, g.theta_sd) * kDegToRad;
+    if (is_helix(e.type) || is_strand(e.type)) {
+      tau[static_cast<std::size_t>(j)] = r.normal(g.tau_deg, g.tau_sd) * kDegToRad;
+    } else {
+      // Coil torsions are fold-defining but still anchored: the same
+      // base position always yields the same turn.
+      tau[static_cast<std::size_t>(j)] = r.uniform(-3.14159265358979, 3.14159265358979);
+    }
+  }
+  return place_ca_chain(theta, tau, kCaBond);
+}
+
+// Per-(fold, candidate, element) deterministic placement RNG.
+Rng placement_rng(const FoldSpec& fold, int candidate, std::size_t k) {
+  return Rng(mix64(fold.torsion_seed, 0xE1E),
+             mix64(static_cast<std::uint64_t>(candidate) * 1000003 + k, fold.fold_id));
+}
+
+// Loop connector: `span` residues strictly between fixed endpoints A and
+// B, laid on a bulged arc whose height is solved so the polyline keeps
+// ~one CA bond per step. Length-stable by construction: A and B come
+// from the rigid core, only the loop's own geometry responds to its
+// rendered span.
+std::vector<Vec3> loop_arc(const Vec3& a, const Vec3& b, int span, const Vec3& bulge_dir) {
+  std::vector<Vec3> pts;
+  pts.reserve(static_cast<std::size_t>(span));
+  if (span <= 0) return pts;
+  const Vec3 chord = b - a;
+  const double chord_len = chord.norm();
+  const double want_len = kCaBond * static_cast<double>(span + 1);
+  // Orthonormal pair perpendicular to the chord: the loop bulges in w1
+  // and twists out of plane in w2. The second harmonic matters -- a
+  // *planar* arc with one-bond spacing necessarily brings i and i+2
+  // closer than the bump cutoff wherever curvature is high.
+  Vec3 w1 = bulge_dir - chord * (bulge_dir.dot(chord) / std::max(1e-9, chord.norm2()));
+  if (w1.norm2() < 1e-9) {
+    w1 = chord.cross(Vec3{0.0, 0.0, 1.0});
+    if (w1.norm2() < 1e-9) w1 = chord.cross(Vec3{0.0, 1.0, 0.0});
+  }
+  w1 = w1.normalized();
+  const Vec3 w2 = chord_len > 1e-9 ? (chord / chord_len).cross(w1) : Vec3{0.0, 0.0, 1.0};
+
+  constexpr double kPi = 3.14159265358979;
+  auto point_at = [&](double t, double h) {
+    return a + chord * t + w1 * (h * std::sin(kPi * t)) +
+           w2 * (0.45 * h * std::sin(2.0 * kPi * t));
+  };
+  // Solve the bulge height by bisection: polyline length of the bulged
+  // path grows monotonically with h.
+  auto path_length = [&](double h) {
+    double len = 0.0;
+    Vec3 prev = a;
+    for (int i = 1; i <= span + 1; ++i) {
+      const double t = static_cast<double>(i) / (span + 1);
+      len += distance(prev, i <= span ? point_at(t, h) : b);
+      prev = i <= span ? point_at(t, h) : b;
+    }
+    return len;
+  };
+  double h = 0.0;
+  if (want_len > chord_len * 1.02) {
+    double lo = 0.0;
+    double hi = want_len;  // generous upper bound
+    for (int it = 0; it < 40; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (path_length(mid) < want_len) lo = mid;
+      else hi = mid;
+    }
+    h = 0.5 * (lo + hi);
+  }
+  for (int i = 1; i <= span; ++i) {
+    pts.push_back(point_at(static_cast<double>(i) / (span + 1), h));
+  }
+  return pts;
+}
+
+std::vector<Vec3> assemble_fold_trace(const FoldSpec& fold, int length, int candidate) {
+  const auto spans = element_spans(fold, length);
+  const std::size_t ne = fold.elements.size();
+
+  // Pass 1 -- place the rigid core: every non-loop element gets a fixed
+  // anchor (random walk whose steps depend only on base-span extents)
+  // and a fixed orientation. Nothing here depends on the render length
+  // (in the loop-absorbing regime), so the core superposes exactly
+  // across renders.
+  struct Placed {
+    std::vector<Vec3> curve;  // empty for loops (filled in pass 2)
+  };
+  std::vector<Placed> placed(ne);
+  Vec3 walk{0.0, 0.0, 0.0};
+  double prev_extent = 0.0;
+  bool first_core = true;
+  for (std::size_t k = 0; k < ne; ++k) {
+    if (fold.elements[k].type == 'C') continue;
+    Rng rng = placement_rng(fold, candidate, k);
+    const Mat3 orientation = random_rotation(rng);
+    Vec3 step_dir{rng.normal(), rng.normal(), rng.normal()};
+    step_dir = step_dir.normalized();
+
+    // Extent measured on the base-span curve: length-independent.
+    std::vector<Vec3> base_curve = element_curve(fold, k, fold.elements[k].length, candidate);
+    for (auto& p : base_curve) p = orientation * p;
+    const double extent = distance(base_curve.front(), base_curve.back());
+
+    if (!first_core) {
+      // Pack element centers at touching distance: half extents plus a
+      // loop gap.
+      walk += step_dir * (0.5 * prev_extent + 0.5 * extent + 5.5);
+    }
+    first_core = false;
+    prev_extent = extent;
+
+    std::vector<Vec3> curve = spans[k] == fold.elements[k].length
+                                  ? std::move(base_curve)
+                                  : [&] {
+                                      auto c = element_curve(fold, k, spans[k], candidate);
+                                      for (auto& p : c) p = orientation * p;
+                                      return c;
+                                    }();
+    // Center the element on its anchor.
+    Vec3 center;
+    for (const auto& p : curve) center += p;
+    center = center / static_cast<double>(std::max<std::size_t>(1, curve.size()));
+    const Vec3 shift = walk - center;
+    for (auto& p : curve) p += shift;
+    placed[k].curve = std::move(curve);
+  }
+
+  // Pass 2 -- loops connect the fixed core; terminal loops hang off the
+  // adjacent element with fixed local geometry.
+  std::vector<Vec3> trace;
+  trace.reserve(static_cast<std::size_t>(length));
+  for (std::size_t k = 0; k < ne; ++k) {
+    const int span = spans[k];
+    if (span <= 0) continue;
+    if (fold.elements[k].type != 'C') {
+      trace.insert(trace.end(), placed[k].curve.begin(), placed[k].curve.end());
+      continue;
+    }
+    // Find placed neighbors.
+    const Placed* prev = nullptr;
+    const Placed* next = nullptr;
+    for (std::size_t j = k; j-- > 0;) {
+      if (!placed[j].curve.empty()) {
+        prev = &placed[j];
+        break;
+      }
+    }
+    for (std::size_t j = k + 1; j < ne; ++j) {
+      if (!placed[j].curve.empty()) {
+        next = &placed[j];
+        break;
+      }
+    }
+    Rng rng = placement_rng(fold, candidate, k);
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    dir = dir.normalized();
+    if (prev != nullptr && next != nullptr) {
+      const auto pts = loop_arc(prev->curve.back(), next->curve.front(), span, dir);
+      trace.insert(trace.end(), pts.begin(), pts.end());
+    } else if (next != nullptr) {
+      // Leading loop: free tail ending one bond before the first element.
+      const Vec3 start = next->curve.front() - dir * (kCaBond * static_cast<double>(span));
+      for (int i = 0; i < span; ++i) {
+        trace.push_back(start + dir * (kCaBond * static_cast<double>(i)));
+      }
+    } else if (prev != nullptr) {
+      // Trailing loop: free tail off the last element.
+      for (int i = 1; i <= span; ++i) {
+        trace.push_back(prev->curve.back() + dir * (kCaBond * static_cast<double>(i)));
+      }
+    } else {
+      // Loop-only fold (degenerate): straight stub.
+      for (int i = 0; i < span; ++i) {
+        trace.push_back(Vec3{kCaBond * static_cast<double>(i), 0.0, 0.0});
+      }
+    }
+  }
+  // Exactness guard.
+  while (static_cast<int>(trace.size()) < length) {
+    trace.push_back(trace.empty() ? Vec3{0, 0, 0} : trace.back() + Vec3{kCaBond, 0, 0});
+  }
+  if (static_cast<int>(trace.size()) > length) trace.resize(static_cast<std::size_t>(length));
+
+  return trace;
+}
+
+// Natives must be self-avoiding continuous chains; the rigid assembly
+// can leave element overlaps and stretched junctions. Deterministic
+// repair (so renders stay reproducible and length-stable); only the
+// final render pays for this, not the candidate-selection assemblies.
+void repair_fold_trace(std::vector<Vec3>& trace) {
+  for (int round = 0; round < 6; ++round) {
+    enforce_chain_continuity(trace, 25);
+    resolve_steric_overlap(trace, 20, 3.95, 0.35);
+    if (count_violations(trace).bumps == 0) break;
+  }
+}
+
+// Pick the most compact self-avoiding candidate assembly, judged at the
+// fold's base length so the choice is render-length-independent.
+int choose_fold_candidate(const FoldSpec& fold, int candidates = 8) {
+  const int base = std::max(8, fold.base_length());
+  int best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < candidates; ++c) {
+    const auto trace = assemble_fold_trace(fold, base, c);
+    const ChainQuality q = evaluate_chain(trace);
+    const double ideal_rg = 2.2 * std::pow(static_cast<double>(base), 0.38);
+    const double score = std::abs(q.radius_of_gyration - ideal_rg) + 25.0 * q.overlaps;
+    if (score < best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Structure build_fold_structure(const std::string& name, const FoldSpec& fold,
+                               const std::string& sequence, double noise_A,
+                               std::uint64_t noise_seed) {
+  const int length = static_cast<int>(sequence.size());
+  Structure s(name);
+  s.reserve(sequence.size());
+  for (char aa : sequence) {
+    Residue r;
+    r.aa = aa;
+    r.heavy_atoms = aa_heavy_atoms(aa);
+    r.has_cb = aa_has_cb(aa);
+    r.has_sc = aa_has_sc(aa);
+    s.add_residue(r);
+  }
+  const int candidate = choose_fold_candidate(fold);
+  auto trace = assemble_fold_trace(fold, length, candidate);
+  repair_fold_trace(trace);
+  s.set_ca_coords(trace);
+  build_full_atoms(s);
+  // Polish the assembled geometry with a real (weakly restrained,
+  // strongly repulsive) minimization: natives must be self-avoiding,
+  // continuous chains, and the analytic assembly cannot guarantee that
+  // in crowded loop regions. Deterministic, so renders stay reproducible
+  // and length-stable.
+  {
+    ForceFieldParams ffp;
+    ffp.restraint_k = 0.5;
+    ffp.repulsion_k = 90.0;
+    ffp.repulsion_cutoff = 4.1;
+    const ForceField ff(s, ffp);
+    auto coords = s.all_atom_coords();
+    MinimizeOptions mo;
+    mo.energy_tolerance = 1.5;
+    mo.max_steps = 120;
+    minimize_lbfgs(ff, coords, mo);
+    s.set_all_atom_coords(coords);
+  }
+  if (noise_A > 0.0) {
+    Rng noise_rng(noise_seed != 0 ? noise_seed : mix64(fold.fold_id, 0x9e3779b9), 7);
+    auto coords = s.all_atom_coords();
+    for (auto& p : coords) {
+      p.x += noise_rng.normal(0.0, noise_A);
+      p.y += noise_rng.normal(0.0, noise_A);
+      p.z += noise_rng.normal(0.0, noise_A);
+    }
+    s.set_all_atom_coords(coords);
+  }
+  return s;
+}
+
+Structure build_native_structure(const FoldUniverse& universe, const ProteinRecord& rec) {
+  const FoldSpec& fold = universe.fold(rec.fold_index);
+  // Mutational divergence perturbs the native slightly relative to the
+  // family's canonical geometry; 0.25 A is within crystallographic noise.
+  return build_fold_structure(rec.sequence.id() + "_native", fold, rec.sequence.residues(),
+                              /*noise_A=*/0.25, /*noise_seed=*/rec.record_seed);
+}
+
+}  // namespace sf

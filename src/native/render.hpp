@@ -1,0 +1,33 @@
+// Native-structure rendering: turns a fold topology (bio) into a
+// concrete all-atom Structure (geom), polished by the relax minimizer.
+//
+// This sits *above* bio, geom and relax in the layer graph: bio defines
+// what a fold is (topology + torsion seed) and what a proteome record
+// carries, geom knows how to place and repair chains, relax knows how to
+// minimize them -- and this module is the only place the three meet.
+// Keeping the assembly here lets sfcheck enforce L1 on bio
+// unconditionally: bio has no business depending on geometry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bio/fold_grammar.hpp"
+#include "bio/proteome.hpp"
+#include "geom/structure.hpp"
+
+namespace sf {
+
+// Build the native structure of a fold rendered at the sequence's
+// length, with the fold's deterministic torsion stream; `noise_A` adds
+// isotropic Gaussian coordinate noise (used for divergent homolog
+// structures).
+Structure build_fold_structure(const std::string& name, const FoldSpec& fold,
+                               const std::string& sequence, double noise_A = 0.0,
+                               std::uint64_t noise_seed = 0);
+
+// Native structure from a proteome record given the universe it was
+// generated from (deterministic in the record's seed).
+Structure build_native_structure(const FoldUniverse& universe, const ProteinRecord& rec);
+
+}  // namespace sf

@@ -168,4 +168,55 @@ std::string render_trace_timeline(const StageTrace& stage, std::size_t rows, std
   return os.str();
 }
 
+ServiceMetrics compute_service_metrics(const ServiceTrace& service) {
+  ServiceMetrics m;
+  m.policy = service.policy;
+  m.waves = service.waves;
+  m.makespan_s = service.makespan_s;
+  m.requests = static_cast<int>(service.requests.size());
+
+  SampleSet all_latency;
+  std::vector<SampleSet> per_tenant;
+  std::vector<std::size_t> tenant_index;  // parallel to m.tenants
+  for (const ServiceRequest& r : service.requests) {
+    std::size_t ti = m.tenants.size();
+    for (std::size_t t = 0; t < m.tenants.size(); ++t) {
+      if (m.tenants[t].tenant == r.tenant) {
+        ti = t;
+        break;
+      }
+    }
+    if (ti == m.tenants.size()) {
+      TenantLatency tl;
+      tl.tenant = r.tenant;
+      m.tenants.push_back(std::move(tl));
+      per_tenant.emplace_back();
+    }
+    TenantLatency& tl = m.tenants[ti];
+    ++tl.requests;
+    if (r.cache_hit) {
+      ++tl.cache_hits;
+      ++m.cache_hits;
+    }
+    all_latency.add(r.latency_s());
+    per_tenant[ti].add(r.latency_s());
+  }
+  if (!all_latency.empty()) {
+    m.p50_s = all_latency.quantile(0.5);
+    m.p95_s = all_latency.quantile(0.95);
+  }
+  for (std::size_t t = 0; t < m.tenants.size(); ++t) {
+    const SampleSet& s = per_tenant[t];
+    if (s.empty()) continue;
+    m.tenants[t].mean_s = s.mean();
+    m.tenants[t].p50_s = s.quantile(0.5);
+    m.tenants[t].p95_s = s.quantile(0.95);
+    m.tenants[t].max_s = s.max();
+  }
+  for (const ServiceQueueSample& q : service.queue_depth) {
+    m.peak_queue_depth = std::max(m.peak_queue_depth, q.depth);
+  }
+  return m;
+}
+
 }  // namespace sf::obs

@@ -67,6 +67,35 @@ struct StageMetrics {
 
 StageMetrics compute_stage_metrics(const StageTrace& stage, double straggler_k = 4.0);
 
+// Per-tenant request-latency summary over a streaming campaign's
+// service section (arrival -> completion on the service's modeled
+// clock).
+struct TenantLatency {
+  std::string tenant;
+  int requests = 0;
+  int cache_hits = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double max_s = 0.0;
+};
+
+struct ServiceMetrics {
+  std::string policy;
+  int waves = 0;
+  double makespan_s = 0.0;
+  int requests = 0;
+  int cache_hits = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  int peak_queue_depth = 0;
+  // One row per tenant, in order of first appearance in the request
+  // stream (deterministic: the stream itself is).
+  std::vector<TenantLatency> tenants;
+};
+
+ServiceMetrics compute_service_metrics(const ServiceTrace& service);
+
 // Per-stage duration histogram over [0, max duration], ready to render.
 Histogram duration_histogram(const StageMetrics& metrics, std::size_t bins = 12);
 

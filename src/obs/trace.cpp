@@ -132,6 +132,11 @@ void TraceRecorder::record_store(const StoreStageStats& stats) {
   st.has_store = true;
 }
 
+void TraceRecorder::record_service(const ServiceTrace& service) {
+  service_ = service;
+  has_service_ = true;
+}
+
 void TraceRecorder::end_map(const MapAccounting& accounting) {
   close_round();
   StageTrace& st = current_stage();

@@ -139,6 +139,42 @@ struct StoreStageStats {
   bool any() const { return gets != 0 || puts != 0 || evictions != 0; }
 };
 
+// One serviced request of a streaming campaign (core/campaign_service):
+// arrival, admission out of the queue, completion, and whether it was
+// served from the in-campaign memo instead of new stage work. Times are
+// the service's modeled clock -- deterministic, never wall time.
+struct ServiceRequest {
+  int request_id = 0;
+  std::string tenant;
+  std::uint64_t record = 0;
+  double arrival_s = 0.0;
+  double admission_s = 0.0;
+  double completion_s = 0.0;
+  bool cache_hit = false;
+  int wave = -1;
+
+  double latency_s() const { return completion_s - arrival_s; }
+};
+
+// Admission-queue depth at one service decision point.
+struct ServiceQueueSample {
+  double time_s = 0.0;
+  int depth = 0;
+};
+
+// The streaming-campaign section of a trace: per-request spans plus the
+// queue-depth timeline. Present only when a campaign actually streamed
+// (the degenerate batch re-expression never emits it), and omitted from
+// the JSON when absent so batch traces are byte-identical to those of
+// builds that predate the campaign service.
+struct ServiceTrace {
+  std::string policy;
+  int waves = 0;
+  double makespan_s = 0.0;
+  std::vector<ServiceRequest> requests;
+  std::vector<ServiceQueueSample> queue_depth;
+};
+
 // One stage's recorded trace: registration info, round structure, the
 // canonical spans, and the replayed pool busy-spans.
 struct StageTrace {
@@ -176,6 +212,9 @@ class TraceSink {
   // Artifact-store traffic for the current stage (stage drivers emit
   // this once per stage, after their store window closes).
   virtual void record_store(const StoreStageStats& stats) { (void)stats; }
+  // Streaming-campaign request spans (the campaign service emits this
+  // once, after its wave loop drains).
+  virtual void record_service(const ServiceTrace& service) { (void)service; }
 };
 
 // The explicit no-op sink (equivalent to passing no sink at all).
@@ -193,8 +232,11 @@ class TraceRecorder final : public TraceSink {
   void record_attempt(const AttemptEvent& event) override;
   void end_map(const MapAccounting& accounting) override;
   void record_store(const StoreStageStats& stats) override;
+  void record_service(const ServiceTrace& service) override;
 
   const std::vector<StageTrace>& stages() const { return stages_; }
+  const ServiceTrace& service() const { return service_; }
+  bool has_service() const { return has_service_; }
 
   // Number of end_map() reconciles where MapResult's pool accounting
   // disagreed with the replayed schedule (0 in a healthy build; also
@@ -206,6 +248,8 @@ class TraceRecorder final : public TraceSink {
   StageTrace& current_stage();
 
   std::vector<StageTrace> stages_;
+  ServiceTrace service_;
+  bool has_service_ = false;
   bool round_open_ = false;
   bool round_alt_ = false;
   RoundInfo round_;

@@ -36,7 +36,8 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& stages) {
+void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& stages,
+                            const ServiceTrace* service) {
   os << "{\n\"traceEvents\": [";
   bool first = true;
   for (std::size_t si = 0; si < stages.size(); ++si) {
@@ -90,19 +91,45 @@ void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& sta
     }
     os << "]}";
   }
-  os << "\n]}\n}\n";
+  os << "\n]}";
+  // The streaming-campaign section rides along only when present, so
+  // batch traces keep their historical byte image exactly.
+  if (service != nullptr) {
+    os << ",\n\"sfService\": {\"version\":1,\"policy\":\"" << json_escape(service->policy)
+       << "\",\"waves\":" << service->waves << ",\"makespanS\":" << num(service->makespan_s)
+       << ",\"requests\":[";
+    for (std::size_t i = 0; i < service->requests.size(); ++i) {
+      const ServiceRequest& r = service->requests[i];
+      if (i > 0) os << ',';
+      os << "\n{\"id\":" << r.request_id << ",\"tenant\":\"" << json_escape(r.tenant)
+         << "\",\"record\":" << r.record << ",\"arrivalS\":" << num(r.arrival_s)
+         << ",\"admissionS\":" << num(r.admission_s) << ",\"completionS\":"
+         << num(r.completion_s) << ",\"cacheHit\":" << (r.cache_hit ? 1 : 0)
+         << ",\"wave\":" << r.wave << '}';
+    }
+    os << "\n],\"queueDepth\":[";
+    for (std::size_t i = 0; i < service->queue_depth.size(); ++i) {
+      const ServiceQueueSample& q = service->queue_depth[i];
+      if (i > 0) os << ',';
+      os << "{\"timeS\":" << num(q.time_s) << ",\"depth\":" << q.depth << '}';
+    }
+    os << "]}";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace
 
-std::string render_chrome_trace(const std::vector<StageTrace>& stages) {
+std::string render_chrome_trace(const std::vector<StageTrace>& stages,
+                                const ServiceTrace* service) {
   std::ostringstream os;
-  render_chrome_trace_to(os, stages);
+  render_chrome_trace_to(os, stages, service);
   return os.str();
 }
 
-void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages) {
-  write_file_atomic(path, [&](std::ostream& os) { render_chrome_trace_to(os, stages); });
+void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages,
+                             const ServiceTrace* service) {
+  write_file_atomic(path, [&](std::ostream& os) { render_chrome_trace_to(os, stages, service); });
 }
 
 std::string render_spans_csv(const std::vector<StageTrace>& stages) {
@@ -307,6 +334,8 @@ class JsonParser {
 
 bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* error) {
   out.stages.clear();
+  out.service = ServiceTrace{};
+  out.has_service = false;
   std::string err;
   JsonValue root;
   if (!JsonParser(json).parse(root, err)) {
@@ -386,6 +415,32 @@ bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* err
       span.fault = fault;
     }
     st.spans.push_back(std::move(span));
+  }
+  if (const JsonValue* service = root.get("sfService"); service != nullptr) {
+    out.has_service = true;
+    out.service.policy = service->str_or("policy", "?");
+    out.service.waves = static_cast<int>(service->num_or("waves", 0));
+    out.service.makespan_s = service->num_or("makespanS", 0.0);
+    if (const JsonValue* requests = service->get("requests"); requests != nullptr) {
+      for (const JsonValue& r : requests->arr) {
+        ServiceRequest req;
+        req.request_id = static_cast<int>(r.num_or("id", 0));
+        req.tenant = r.str_or("tenant", "?");
+        req.record = static_cast<std::uint64_t>(r.num_or("record", 0));
+        req.arrival_s = r.num_or("arrivalS", 0.0);
+        req.admission_s = r.num_or("admissionS", 0.0);
+        req.completion_s = r.num_or("completionS", 0.0);
+        req.cache_hit = r.num_or("cacheHit", 0) != 0;
+        req.wave = static_cast<int>(r.num_or("wave", -1));
+        out.service.requests.push_back(std::move(req));
+      }
+    }
+    if (const JsonValue* depth = service->get("queueDepth"); depth != nullptr) {
+      for (const JsonValue& q : depth->arr) {
+        out.service.queue_depth.push_back(
+            {q.num_or("timeS", 0.0), static_cast<int>(q.num_or("depth", 0))});
+      }
+    }
   }
   return true;
 }

@@ -26,11 +26,20 @@ namespace sf::obs {
 // A trace read back from disk (or built in memory).
 struct TraceDoc {
   std::vector<StageTrace> stages;
+  // Streaming-campaign section; absent (has_service == false) for batch
+  // campaigns and for traces written before the campaign service
+  // existed.
+  ServiceTrace service;
+  bool has_service = false;
 };
 
-// Chrome trace-event JSON.
-std::string render_chrome_trace(const std::vector<StageTrace>& stages);
-void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages);
+// Chrome trace-event JSON. `service` adds the optional "sfService"
+// section; passing nullptr (or omitting it) keeps the historical byte
+// image exactly.
+std::string render_chrome_trace(const std::vector<StageTrace>& stages,
+                                const ServiceTrace* service = nullptr);
+void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages,
+                             const ServiceTrace* service = nullptr);
 
 // Flat spans CSV: stage,task_id,name,attempt,pool,worker,fault,ok,begin_s,end_s.
 std::string render_spans_csv(const std::vector<StageTrace>& stages);

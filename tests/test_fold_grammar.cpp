@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bio/sequence.hpp"
+#include "native/render.hpp"
 #include "score/tm_score.hpp"
 
 namespace sf {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "native/render.hpp"
+
 namespace sf {
 namespace {
 

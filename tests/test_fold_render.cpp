@@ -5,6 +5,7 @@
 #include "analysis/struct_align.hpp"
 #include "bio/fold_grammar.hpp"
 #include "geom/violations.hpp"
+#include "native/render.hpp"
 #include "score/tm_score.hpp"
 #include "util/rng.hpp"
 

@@ -5,6 +5,7 @@
 #include "bio/proteome.hpp"
 #include "bio/species.hpp"
 #include "fold/engine.hpp"
+#include "native/render.hpp"
 #include "score/specs_score.hpp"
 #include "score/tm_score.hpp"
 #include "seqsearch/feature_model.hpp"

@@ -2,6 +2,7 @@
 
 #include "bio/proteome.hpp"
 #include "bio/species.hpp"
+#include "native/render.hpp"
 #include "score/tm_score.hpp"
 
 namespace sf {
@@ -98,7 +99,7 @@ TEST(Proteome, NativeBuildIsDeterministicAndSized) {
   FoldUniverse universe(60, 1);
   ProteomeGenerator gen(universe, species_d_vulgaris(), 7);
   const auto records = gen.generate(3);
-  const Structure s1 = gen.build_native(records[1]);
+  const Structure s1 = build_native_structure(gen.universe(), records[1]);
   const Structure s2 = build_native_structure(universe, records[1]);
   ASSERT_EQ(s1.size(), records[1].sequence.length());
   EXPECT_NEAR(tm_score(s1, s2).tm_score, 1.0, 1e-9);

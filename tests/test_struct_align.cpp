@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bio/fold_grammar.hpp"
+#include "native/render.hpp"
 #include "util/rng.hpp"
 
 namespace sf {

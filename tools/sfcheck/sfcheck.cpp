@@ -442,7 +442,7 @@ Config Config::project_default() {
       {"util", 0},
       {"bio", 1},
       {"geom", 2}, {"relax", 2}, {"score", 2}, {"seqsearch", 2}, {"fold", 2}, {"sim", 2},
-      {"obs", 2},
+      {"obs", 2}, {"native", 2},
       {"dataflow", 3}, {"analysis", 3}, {"sftrace", 3}, {"store", 3},
       {"core", 4},
   };

@@ -76,10 +76,30 @@ void summarize_stage(const obs::StageTrace& st, std::ostream& out) {
   }
 }
 
+void summarize_service(const obs::ServiceTrace& service, std::ostream& out) {
+  const obs::ServiceMetrics m = obs::compute_service_metrics(service);
+  out << format("service policy %s: %d wave(s), makespan %s\n", m.policy.c_str(), m.waves,
+                dur(m.makespan_s).c_str());
+  out << format("  requests %d (%d memo hit(s)), peak queue depth %d\n", m.requests, m.cache_hits,
+                m.peak_queue_depth);
+  if (m.requests > 0) {
+    out << format("  latency: p50 %s, p95 %s\n", dur(m.p50_s).c_str(), dur(m.p95_s).c_str());
+  }
+  for (const auto& t : m.tenants) {
+    out << format("  tenant %-10s %4d req (%d hit)  mean %s  p50 %s  p95 %s  max %s\n",
+                  t.tenant.c_str(), t.requests, t.cache_hits, dur(t.mean_s).c_str(),
+                  dur(t.p50_s).c_str(), dur(t.p95_s).c_str(), dur(t.max_s).c_str());
+  }
+}
+
 }  // namespace
 
 void run_summarize(const obs::TraceDoc& doc, std::ostream& out) {
   out << format("trace: %zu stage(s)\n", doc.stages.size());
+  if (doc.has_service) {
+    out << '\n';
+    summarize_service(doc.service, out);
+  }
   for (const auto& st : doc.stages) {
     out << '\n';
     summarize_stage(st, out);
@@ -170,6 +190,48 @@ bool run_diff(const obs::TraceDoc& a, const obs::TraceDoc& b, std::ostream& out)
       out << format("stage %s: identical (%zu spans, makespan %s, utilization %.4f)\n",
                     label.c_str(), sa.spans.size(), dur(ma.makespan_s).c_str(), ma.utilization);
     }
+  }
+  if (a.has_service != b.has_service) {
+    out << format("service section: %s vs %s\n", a.has_service ? "present" : "absent",
+                  b.has_service ? "present" : "absent");
+    drift = true;
+  } else if (a.has_service) {
+    const obs::ServiceTrace& sa = a.service;
+    const obs::ServiceTrace& sb = b.service;
+    bool service_drift = false;
+    if (sa.policy != sb.policy || sa.waves != sb.waves || sa.makespan_s != sb.makespan_s) {
+      out << format("service: policy %s/%d waves/%.9gs vs %s/%d waves/%.9gs\n", sa.policy.c_str(),
+                    sa.waves, sa.makespan_s, sb.policy.c_str(), sb.waves, sb.makespan_s);
+      service_drift = true;
+    }
+    if (sa.requests.size() != sb.requests.size()) {
+      out << format("service: request count %zu vs %zu\n", sa.requests.size(), sb.requests.size());
+      service_drift = true;
+    }
+    const std::size_t reqs = std::min(sa.requests.size(), sb.requests.size());
+    int req_drift = 0;
+    for (std::size_t i = 0; i < reqs; ++i) {
+      const obs::ServiceRequest& ra = sa.requests[i];
+      const obs::ServiceRequest& rb = sb.requests[i];
+      if (ra.request_id == rb.request_id && ra.tenant == rb.tenant && ra.record == rb.record &&
+          ra.arrival_s == rb.arrival_s && ra.admission_s == rb.admission_s &&
+          ra.completion_s == rb.completion_s && ra.cache_hit == rb.cache_hit && ra.wave == rb.wave) {
+        continue;
+      }
+      ++req_drift;
+      if (req_drift <= 5) {
+        out << format("service: request %zu drifted\n", i);
+        out << format("  a: id %d %s rec %llu [%.9g -> %.9g -> %.9g] wave %d%s\n", ra.request_id,
+                      ra.tenant.c_str(), (unsigned long long)ra.record, ra.arrival_s,
+                      ra.admission_s, ra.completion_s, ra.wave, ra.cache_hit ? " hit" : "");
+        out << format("  b: id %d %s rec %llu [%.9g -> %.9g -> %.9g] wave %d%s\n", rb.request_id,
+                      rb.tenant.c_str(), (unsigned long long)rb.record, rb.arrival_s,
+                      rb.admission_s, rb.completion_s, rb.wave, rb.cache_hit ? " hit" : "");
+      }
+    }
+    if (req_drift > 5) out << format("service: ... %d more drifted request(s)\n", req_drift - 5);
+    if (req_drift > 0) service_drift = true;
+    if (service_drift) drift = true;
   }
   if (!drift) out << "traces identical\n";
   return drift;

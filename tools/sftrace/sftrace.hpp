@@ -8,12 +8,16 @@
 //
 //   summarize  per-stage metrics: pools, attempts, makespan,
 //              utilization, stragglers, per-fault-class time lost, and
-//              the attempt-duration histogram;
+//              the attempt-duration histogram; traces recorded by a
+//              streaming campaign additionally get a service block
+//              (policy, waves, per-tenant latency percentiles, queue
+//              depth);
 //   timeline   Fig. 2-style per-worker text timeline of one stage (or
 //              all stages);
 //   diff       span-level comparison of two traces: schedule drift
-//              (placement or timing), span-set drift, and the
-//              utilization delta. Returns whether anything drifted.
+//              (placement or timing), span-set drift, the utilization
+//              delta, and request-level drift of the service sections
+//              (when present). Returns whether anything drifted.
 #pragma once
 
 #include <cstddef>
