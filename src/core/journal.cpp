@@ -394,6 +394,148 @@ const JournalRelaxRow* CampaignJournal::relax_row(std::size_t index) const {
   return it == relaxed_by_index_.end() ? nullptr : &relaxed_[it->second];
 }
 
+namespace {
+
+std::string pair_header_line(std::uint64_t fingerprint) {
+  return std::string("sfpairj v1 ") +
+         format("%llx", static_cast<unsigned long long>(fingerprint)) + " end";
+}
+
+std::string pair_row_line(const JournalPairRow& row) {
+  std::ostringstream ss;
+  ss << "pair " << row.pair << ' ' << num(row.interface_score) << ' ' << num(row.ptms) << ' '
+     << row.recycles << ' ' << (row.oom ? 1 : 0) << ' ' << (row.interacting ? 1 : 0) << " end";
+  return ss.str();
+}
+
+// The pair journal seals only two stages; index kFeatures/kInference
+// into its reports_[2].
+int pair_stage_slot(StageKind stage) { return stage == StageKind::kFeatures ? 0 : 1; }
+
+}  // namespace
+
+PairJournal::PairJournal(std::string path) : path_(std::move(path)) {}
+
+bool PairJournal::parse_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  if (!tokenize(line, tokens)) return false;
+  const std::string& kind = tokens.front();
+
+  if (kind == "pair") {
+    // pair <idx> <iscore> <ptms> <recycles> <oom> <interacting> end
+    if (tokens.size() != 8) return false;
+    JournalPairRow row;
+    int oom = 0, interacting = 0;
+    if (!to_size(tokens[1], row.pair) || !to_double(tokens[2], row.interface_score) ||
+        !to_double(tokens[3], row.ptms) || !to_int(tokens[4], row.recycles) ||
+        !to_int(tokens[5], oom) || !to_int(tokens[6], interacting)) {
+      return false;
+    }
+    row.oom = oom != 0;
+    row.interacting = interacting != 0;
+    if (rows_by_index_.count(row.pair)) return true;  // keep first
+    rows_by_index_[row.pair] = rows_.size();
+    rows_.push_back(row);
+    return true;
+  }
+  if (kind == "stage") {
+    // stage features|inference <20 report fields> end
+    if (tokens.size() != 23) return false;
+    StageKind stage;
+    if (!stage_from_token(tokens[1], stage) || stage == StageKind::kRelaxation) return false;
+    StageReport report;
+    // The stage token is the shared journal vocabulary; the replayed
+    // report must carry the pair campaign's stage names so a resumed
+    // run prints the same bytes as an uninterrupted one.
+    report.name = std::string("pair-") + tokens[1];
+    if (!parse_report(tokens, 2, report)) return false;
+    reports_[pair_stage_slot(stage)] = std::move(report);
+    return true;
+  }
+  return false;  // unknown entry: treat as torn tail
+}
+
+bool PairJournal::open(std::uint64_t fingerprint) {
+  fingerprint_ = fingerprint;
+  rows_.clear();
+  rows_by_index_.clear();
+  for (auto& r : reports_) r.reset();
+
+  std::string raw;
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    raw = ss.str();
+  }
+  {
+    std::istringstream in(raw);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  bool valid_header = false;
+  if (!lines.empty()) {
+    std::vector<std::string> tokens;
+    if (tokenize(lines[0], tokens) && tokens.size() == 4 && tokens[0] == "sfpairj" &&
+        tokens[1] == "v1") {
+      std::uint64_t fp = 0;
+      valid_header = to_u64(tokens[2], fp) && fp == fingerprint;
+    }
+  }
+  if (valid_header) {
+    std::size_t good = 1;
+    while (good < lines.size() && parse_line(lines[good])) ++good;
+  }
+
+  // Compact on open, exactly like CampaignJournal: deduplicated rows in
+  // first-seen order, sealed stage lines last, rewritten atomically and
+  // only when the bytes differ.
+  std::ostringstream canon;
+  canon << pair_header_line(fingerprint) << '\n';
+  for (const auto& row : rows_) canon << pair_row_line(row) << '\n';
+  if (reports_[0]) canon << stage_line(StageKind::kFeatures, *reports_[0]) << '\n';
+  if (reports_[1]) canon << stage_line(StageKind::kInference, *reports_[1]) << '\n';
+  const std::string canonical = canon.str();
+  if (canonical != raw) {
+    write_file_atomic(path_, [&](std::ostream& out) { out << canonical; });
+  }
+  return valid_header && (!rows_.empty() || reports_[0] || reports_[1]);
+}
+
+void PairJournal::append_line(const std::string& line) {
+  std::ofstream out(path_, std::ios::app);
+  out << line << '\n';
+  out.flush();
+}
+
+void PairJournal::record_pair(const JournalPairRow& row) {
+  if (rows_by_index_.count(row.pair)) return;
+  append_line(pair_row_line(row));
+  rows_by_index_[row.pair] = rows_.size();
+  rows_.push_back(row);
+}
+
+void PairJournal::record_stage_complete(StageKind stage, const StageReport& report) {
+  append_line(stage_line(stage, report));
+  reports_[pair_stage_slot(stage)] = report;
+}
+
+bool PairJournal::stage_complete(StageKind stage) const {
+  return reports_[pair_stage_slot(stage)].has_value();
+}
+
+const StageReport* PairJournal::stage_report(StageKind stage) const {
+  const auto& r = reports_[pair_stage_slot(stage)];
+  return r ? &*r : nullptr;
+}
+
+const JournalPairRow* PairJournal::pair_row(std::size_t pair) const {
+  const auto it = rows_by_index_.find(pair);
+  return it == rows_by_index_.end() ? nullptr : &rows_[it->second];
+}
+
 std::uint64_t campaign_fingerprint(const PipelineConfig& cfg,
                                    const std::vector<ProteinRecord>& records) {
   std::uint64_t h = stable_hash64("sf-campaign-v1");

@@ -126,4 +126,58 @@ class CampaignJournal {
 std::uint64_t campaign_fingerprint(const PipelineConfig& cfg,
                                    const std::vector<ProteinRecord>& records);
 
+// --- pair-campaign journal (PPI screening, core/pair_campaign.hpp) ---
+//
+// Same durability discipline as CampaignJournal (`end`-sealed lines,
+// fingerprint-guarded header, dedup-safe rows, compact-on-open), but
+// over pair tasks: one row per screened pair, indexed by the campaign's
+// canonical pair index. Stage seals reuse StageKind -- kFeatures for
+// the per-chain feature stage, kInference for the pair map.
+//
+// Line format:
+//   sfpairj v1 <fingerprint-hex> end
+//   pair <idx> <iscore> <ptms> <recycles> <oom> <interacting> end
+//   stage features|inference <20 report fields> end
+
+// One screened pair: everything the campaign needs to rebuild its
+// PairOutcome -- and price its task -- without rerunning the complex
+// engine. Doubles round-trip via %.17g like every journal row.
+struct JournalPairRow {
+  std::size_t pair = 0;  // canonical pair index (i-major, i < j)
+  double interface_score = 0.0;
+  double ptms = 0.0;
+  int recycles = 0;
+  bool oom = false;          // combined length over the memory budget
+  bool interacting = false;  // synthetic ground truth
+};
+
+class PairJournal {
+ public:
+  explicit PairJournal(std::string path);
+
+  // Same contract as CampaignJournal::open.
+  bool open(std::uint64_t fingerprint);
+
+  void record_pair(const JournalPairRow& row);
+  void record_stage_complete(StageKind stage, const StageReport& report);
+
+  bool stage_complete(StageKind stage) const;
+  const StageReport* stage_report(StageKind stage) const;
+  const JournalPairRow* pair_row(std::size_t pair) const;
+  std::size_t pair_count() const { return rows_.size(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void append_line(const std::string& line);
+  bool parse_line(const std::string& line);
+
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+
+  std::vector<JournalPairRow> rows_;
+  std::unordered_map<std::size_t, std::size_t> rows_by_index_;
+  std::optional<StageReport> reports_[2];  // kFeatures, kInference
+};
+
 }  // namespace sf

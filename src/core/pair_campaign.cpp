@@ -1,0 +1,419 @@
+#include "core/pair_campaign.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <ostream>
+
+#include "core/journal.hpp"
+#include "core/report.hpp"
+#include "fold/complex.hpp"
+#include "obs/trace.hpp"
+#include "store/artifact_store.hpp"
+#include "store/codec.hpp"
+#include "util/string_util.hpp"
+
+namespace sf {
+namespace {
+
+// Fault-plan decorrelation stream for the pair map: distinct from every
+// single-chain stage stream (stage_fault_stream), so "pair 3 crashes"
+// is independent of any monomer campaign sharing the plan.
+constexpr std::uint64_t kPairFaultStream = 0x9A170004ULL;
+
+std::uint64_t hash_double(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+JournalPairRow row_from_outcome(std::size_t pair, const ComplexPrediction& p) {
+  JournalPairRow row;
+  row.pair = pair;
+  row.interface_score = p.interface_score;
+  row.ptms = p.ptms;
+  row.recycles = p.recycles_run;
+  row.oom = p.out_of_memory;
+  row.interacting = p.truly_interacting;
+  return row;
+}
+
+JournalPairRow row_from_artifact(std::size_t pair, const store::PairArtifact& a) {
+  JournalPairRow row;
+  row.pair = pair;
+  row.interface_score = a.interface_score;
+  row.ptms = a.ptms;
+  row.recycles = a.recycles;
+  row.oom = a.out_of_memory;
+  row.interacting = a.truly_interacting;
+  return row;
+}
+
+store::PairArtifact artifact_from_row(const JournalPairRow& row) {
+  store::PairArtifact a;
+  a.interface_score = row.interface_score;
+  a.ptms = row.ptms;
+  a.recycles = row.recycles;
+  a.out_of_memory = row.oom;
+  a.truly_interacting = row.interacting;
+  return a;
+}
+
+}  // namespace
+
+PairCampaign::PairCampaign(const FoldUniverse& universe, PipelineConfig config,
+                           PairCampaignConfig pairs)
+    : universe_(&universe), config_(std::move(config)), pair_config_(pairs) {}
+
+std::vector<std::pair<std::size_t, std::size_t>> PairCampaign::enumerate_pairs(
+    std::size_t n, std::size_t max_pairs) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(n < 2 ? 0 : n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (max_pairs != 0 && out.size() >= max_pairs) return out;
+      out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+PairCampaignReport PairCampaign::run(const std::vector<ProteinRecord>& records,
+                                     PairJournal* journal, obs::TraceSink* sink,
+                                     store::ArtifactStore* store, Executor* feature_executor,
+                                     Executor* pair_executor) const {
+  const PipelineConfig& cfg = config_;
+  const std::size_t n = records.size();
+  const auto pairs = enumerate_pairs(n, pair_config_.max_pairs);
+  const std::size_t p = pairs.size();
+
+  const bool tracing = sink != nullptr && sink->active();
+  const bool caching = store != nullptr;
+  const std::uint64_t config_fp = store_config_fingerprint(cfg);
+
+  // Bind the journal to this campaign's identity (same contract as the
+  // single-chain service): a journal written under a different config
+  // or record list is discarded on open, never spliced in.
+  if (journal) journal->open(pair_campaign_fingerprint(cfg, records, pair_config_));
+
+  PairCampaignReport out;
+  out.iscore_cutoff = pair_config_.iscore_cutoff;
+
+  // ---- per-chain feature stage ("pair-features") ---------------------
+  //
+  // Same driver shape and same invariants as stage_features.cpp: store
+  // gets happen serially before the map in record order (the store's
+  // determinism contract), a hit skips only the real recompute -- the
+  // task still runs at its unchanged modeled duration -- and only a
+  // journal-sealed stage with a store attached skips the map entirely
+  // (the warm-resume fast path: zero feature-stage task attempts).
+  // Feature keys are shared with the single-chain campaigns
+  // (stage_artifact_key), so a monomer run warms the pair screen.
+  std::vector<InputFeatures> features(n);
+  {
+    const bool sealed = journal && journal->stage_complete(StageKind::kFeatures);
+    const double slowdown = cfg.filesystem.io_slowdown(cfg.jobs_per_replica);
+    const bool full = cfg.library == LibraryKind::kFull;
+    const auto feature_seconds = [&](std::size_t i) {
+      return cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
+                                           andes().cpu_node_speed);
+    };
+
+    std::vector<char> hit(n, 0);
+    if (caching) {
+      store->begin_stage("pair-features", stage_store_pricer(cfg, StageKind::kFeatures));
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto key = stage_artifact_key(cfg, StageKind::kFeatures, records[i]);
+        if (const auto payload = store->get(key)) {
+          InputFeatures f;
+          if (store::decode_features(*payload, f)) {
+            features[i] = f;
+            hit[i] = 1;
+          }
+        }
+      }
+    }
+
+    obs::StageTraceInfo trace_info = stage_trace_info(cfg, StageKind::kFeatures);
+    trace_info.stage = "pair-features";
+
+    const auto put_misses = [&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (hit[i]) continue;
+        store->put(stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
+                   records[i].sequence.id() + "/features", store::encode_features(features[i]),
+                   features[i].feature_bytes(), feature_seconds(i));
+      }
+    };
+
+    if (sealed && (caching || !tracing)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!hit[i]) features[i] = sample_features(records[i], cfg.library);
+      }
+      if (caching) put_misses();
+      if (tracing) {
+        sink->begin_stage(trace_info);
+        if (caching) sink->record_store(store_stats_for_trace(*store));
+      }
+      out.features = *journal->stage_report(StageKind::kFeatures);
+    } else {
+      std::vector<TaskSpec> tasks(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        tasks[i] = {static_cast<std::uint64_t>(i), records[i].sequence.id() + "/features",
+                    static_cast<double>(records[i].length()), i};
+      }
+      apply_order(tasks, cfg.order, cfg.seed);
+
+      const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+        const std::size_t i = t.payload;
+        if (!hit[i]) features[i] = sample_features(records[i], cfg.library);
+        TaskOutcome o;
+        o.sim_duration_s = feature_seconds(i);
+        return o;
+      };
+
+      RetryPolicy retry;
+      retry.retry_order = cfg.order;
+      retry.seed = cfg.seed;
+      const FaultInjector injector = stage_fault_injector(cfg, StageKind::kFeatures);
+      if (injector.active()) {
+        retry.max_attempts = 4;
+        retry.backoff_base_s = 5.0;
+      }
+
+      SimulatedExecutor sim = make_stage_executor(cfg, StageKind::kFeatures);
+      Executor& executor = feature_executor ? *feature_executor : sim;
+      if (tracing) sink->begin_stage(trace_info);
+      MapResult run = executor.map(tasks, fn, retry, &injector, sink);
+      if (feature_executor && !feature_executor->modeled_time()) {
+        // A wall-clock backend really computed the features above (on
+        // its own thread count); the report still prices the canonical
+        // modeled schedule, so stdout and journal bytes are identical
+        // whatever backend executed the map. Task fns are deterministic
+        // and idempotent, so the replay recomputes nothing new.
+        run = sim.map(tasks, fn, retry, &injector);
+      }
+      if (caching) {
+        put_misses();
+        if (tracing) sink->record_store(store_stats_for_trace(*store));
+      }
+      const StageReport report = stage_report_from(
+          "pair-features", run, stage_nodes(cfg, StageKind::kFeatures), static_cast<int>(n));
+      if (sealed) {
+        out.features = *journal->stage_report(StageKind::kFeatures);
+      } else {
+        out.features = report;
+        if (journal) journal->record_stage_complete(StageKind::kFeatures, out.features);
+      }
+    }
+  }
+
+  // ---- pair science phase --------------------------------------------
+  //
+  // Deterministic per-pair outcomes in canonical pair order, serial and
+  // outside any executor map. Priority: journal row (exact %.17g
+  // round-trip, no engine, no store traffic) > stored pair artifact
+  // (bit-exact hex round-trip, re-journaled dedup-safely) > the complex
+  // engine. A cold pair additionally *stages both chains' features back
+  // in* through the store -- the quadratic reuse stream that separates
+  // the eviction policies: under capacity pressure FIFO keeps evicting
+  // the features every pair needs again, LRU keeps the recently-touched
+  // ones, and cost-aware keeps the expensive-per-byte ones.
+  ComplexEngineParams engine_params;
+  engine_params.engine = cfg.engine;
+  const ComplexEngine engine(*universe_, engine_params);
+  const Interactome interactome(records, pair_config_.interactome_rate,
+                                pair_config_.interactome_seed);
+
+  const double slowdown = cfg.filesystem.io_slowdown(cfg.jobs_per_replica);
+  const bool full = cfg.library == LibraryKind::kFull;
+  if (caching) {
+    store->begin_stage("pair-inference", stage_store_pricer(cfg, StageKind::kInference));
+  }
+
+  out.pairs.resize(p);
+  for (std::size_t k = 0; k < p; ++k) {
+    const std::size_t a = pairs[k].first;
+    const std::size_t b = pairs[k].second;
+    PairOutcome& po = out.pairs[k];
+    po.a = a;
+    po.b = b;
+
+    JournalPairRow row;
+    if (const JournalPairRow* jr = journal ? journal->pair_row(k) : nullptr) {
+      row = *jr;
+    } else {
+      const auto pair_key =
+          store::pair_artifact_key(store::record_fingerprint(records[a]),
+                                   store::record_fingerprint(records[b]), "pair", config_fp);
+      store::PairArtifact art;
+      bool have_art = false;
+      if (caching) {
+        if (const auto payload = store->get(pair_key)) {
+          have_art = store::decode_pair(*payload, art);
+        }
+      }
+      if (have_art) {
+        row = row_from_artifact(k, art);
+      } else {
+        if (caching) {
+          // Stage both chains' features to the pair task's node; a chain
+          // evicted since the feature stage is recomputed and re-cached
+          // at its modeled recompute cost (what kCostAware weighs).
+          for (const std::size_t i : {a, b}) {
+            const auto fkey = stage_artifact_key(cfg, StageKind::kFeatures, records[i]);
+            if (!store->get(fkey)) {
+              store->put(fkey, records[i].sequence.id() + "/features",
+                         store::encode_features(features[i]), features[i].feature_bytes(),
+                         cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
+                                                       andes().cpu_node_speed));
+            }
+          }
+        }
+        const ComplexPrediction pred = engine.predict_pair(
+            records[a], records[b], features[a], features[b], interactome, a, b, cfg.preset);
+        row = row_from_outcome(k, pred);
+      }
+      if (journal) journal->record_pair(row);
+      if (caching && !have_art) {
+        const int combined = records[a].length() + records[b].length();
+        store->put(pair_key, records[a].sequence.id() + "+" + records[b].sequence.id() + "/pair",
+                   store::encode_pair(artifact_from_row(row)), modeled_structure_bytes(combined),
+                   cfg.inference_cost.task_seconds(combined, row.oom ? 1 : row.recycles + 1,
+                                                   cfg.preset.ensembles));
+      }
+    }
+
+    po.interface_score = row.interface_score;
+    po.ptms = row.ptms;
+    po.recycles = row.recycles;
+    po.oom = row.oom;
+    po.truly_interacting = row.interacting;
+    po.called_positive = !row.oom && row.interface_score >= pair_config_.iscore_cutoff;
+
+    if (row.oom) {
+      ++out.oom_pairs;
+      continue;
+    }
+    ++out.screened;
+    if (row.interacting) out.binder_iscore.add(row.interface_score);
+    else out.nonbinder_iscore.add(row.interface_score);
+    if (po.called_positive) {
+      ++out.positives;
+      if (row.interacting) ++out.true_positives;
+      else ++out.false_positives;
+    }
+  }
+
+  // ---- pair map ("pair-inference") -----------------------------------
+  //
+  // One task per pair through the inference executor (Summit GPU pool,
+  // high-memory alternate for OOM reroutes). Task pricing derives only
+  // from journal-replayable row fields, so a resumed map bills exactly
+  // what the uninterrupted one did. A sealed stage skips the map
+  // (report replays from the journal); under tracing it re-runs for its
+  // spans, like every single-chain stage.
+  const bool sealed = journal && journal->stage_complete(StageKind::kInference);
+  if (!sealed || tracing) {
+    std::vector<TaskSpec> tasks(p);
+    for (std::size_t k = 0; k < p; ++k) {
+      const std::size_t a = pairs[k].first;
+      const std::size_t b = pairs[k].second;
+      tasks[k] = {static_cast<std::uint64_t>(k),
+                  records[a].sequence.id() + "+" + records[b].sequence.id() + "/pair",
+                  static_cast<double>(records[a].length() + records[b].length()), k};
+    }
+    apply_order(tasks, cfg.order, cfg.seed);
+
+    const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt& at) {
+      const std::size_t k = t.payload;
+      const PairOutcome& po = out.pairs[k];
+      const int combined = records[po.a].length() + records[po.b].length();
+      TaskOutcome o;
+      if (!po.oom) {
+        o.sim_duration_s =
+            cfg.inference_cost.task_seconds(combined, po.recycles + 1, cfg.preset.ensembles);
+        return o;
+      }
+      if (at.alt_pool) {
+        // High-memory rerun of the combined-length problem, at the
+        // memory-model default of 4 passes (the pair never converged).
+        o.sim_duration_s = cfg.inference_cost.task_seconds(combined, 4, cfg.preset.ensembles);
+        return o;
+      }
+      // Occupies a GPU until the memory wall kills it (one pass), then
+      // the RetryPolicy reroutes or counts it failed.
+      o.ok = false;
+      o.sim_duration_s = cfg.inference_cost.task_seconds(combined, 1, cfg.preset.ensembles);
+      return o;
+    };
+
+    RetryPolicy retry;
+    retry.retry_order = cfg.order;
+    retry.seed = cfg.seed;
+    if (cfg.use_highmem_for_oom) {
+      retry.max_attempts = 2;
+      retry.reroute_to_alt_pool = true;
+    }
+    const FaultInjector injector(cfg.faults, kPairFaultStream);
+    if (injector.active()) {
+      retry.max_attempts = std::max(retry.max_attempts, cfg.faults.transient_attempts + 2);
+      retry.backoff_base_s = 30.0;
+    }
+
+    obs::StageTraceInfo trace_info = stage_trace_info(cfg, StageKind::kInference);
+    trace_info.stage = "pair-inference";
+
+    SimulatedExecutor sim = make_stage_executor(cfg, StageKind::kInference);
+    Executor& executor = pair_executor ? *pair_executor : sim;
+    if (tracing) sink->begin_stage(trace_info);
+    MapResult run = executor.map(tasks, fn, retry, &injector, sink);
+    if (pair_executor && !pair_executor->modeled_time()) {
+      // Same canonical-pricing replay as the feature stage: the pair fn
+      // is a pure pricing function, so re-mapping it on the simulated
+      // executor costs nothing and pins the report to modeled time.
+      run = sim.map(tasks, fn, retry, &injector);
+    }
+    if (tracing && caching) sink->record_store(store_stats_for_trace(*store));
+
+    StageReport report = stage_report_from(
+        "pair-inference", run, stage_nodes(cfg, StageKind::kInference), static_cast<int>(p));
+    // High-memory reruns bill against their own (smaller) node count.
+    report.node_hours += node_hours(cfg.highmem_nodes, run.alt_pool_s());
+    if (!sealed) {
+      out.inference = report;
+      if (journal) journal->record_stage_complete(StageKind::kInference, out.inference);
+    }
+  }
+  if (sealed) out.inference = *journal->stage_report(StageKind::kInference);
+
+  return out;
+}
+
+std::uint64_t pair_campaign_fingerprint(const PipelineConfig& cfg,
+                                        const std::vector<ProteinRecord>& records,
+                                        const PairCampaignConfig& pairs) {
+  std::uint64_t h = campaign_fingerprint(cfg, records);
+  h = mix64(h, stable_hash64("sf-pair-campaign-v1"));
+  h = mix64(h, hash_double(pairs.interactome_rate));
+  h = mix64(h, pairs.interactome_seed);
+  h = mix64(h, hash_double(pairs.iscore_cutoff));
+  h = mix64(h, static_cast<std::uint64_t>(pairs.max_pairs));
+  return h;
+}
+
+void print_pair_campaign(std::ostream& out, const PairCampaignReport& report) {
+  out << format("pair campaign: %zu pairs\n", report.pairs.size());
+  print_stage(out, report.features);
+  print_stage(out, report.inference);
+  out << format("  screening: scored %d | oom %d | called positive %d (tp %d, fp %d) at iScore>=%.2f\n",
+                report.screened, report.oom_pairs, report.positives, report.true_positives,
+                report.false_positives, report.iscore_cutoff);
+  out << format("  iScore: binders %.3f (n=%zu) | non-binders %.3f (n=%zu)\n",
+                report.binder_iscore.mean(), report.binder_iscore.count(),
+                report.nonbinder_iscore.mean(), report.nonbinder_iscore.count());
+  out << format("  totals: %.0f Summit node-hours, %.0f Andes node-hours\n",
+                report.total_summit_node_hours(), report.total_andes_node_hours());
+}
+
+}  // namespace sf

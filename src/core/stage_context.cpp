@@ -173,6 +173,11 @@ double modeled_structure_bytes(int length) {
 obs::StoreStageStats store_stats_for_trace(const store::ArtifactStore& store) {
   const store::StoreStats& s = store.stage_stats();
   obs::StoreStageStats o;
+  // FIFO (the historical default) stays unnamed so existing traces keep
+  // their byte-exact image; LRU/cost-aware announce themselves.
+  if (store.policy().eviction != store::EvictionPolicy::kFifo) {
+    o.policy = store::eviction_policy_name(store.policy().eviction);
+  }
   o.gets = s.gets;
   o.hits = s.hits;
   o.misses = s.misses;

@@ -47,6 +47,16 @@ ComplexPrediction ComplexEngine::predict_pair(const ProteinRecord& a, const Prot
                                               const Interactome& interactome,
                                               std::size_t index_a, std::size_t index_b,
                                               const PresetConfig& preset) const {
+  return predict_pair(a, b, sample_features(a, LibraryKind::kReduced),
+                      sample_features(b, LibraryKind::kReduced), interactome, index_a, index_b,
+                      preset);
+}
+
+ComplexPrediction ComplexEngine::predict_pair(const ProteinRecord& a, const ProteinRecord& b,
+                                              const InputFeatures& fa, const InputFeatures& fb,
+                                              const Interactome& interactome,
+                                              std::size_t index_a, std::size_t index_b,
+                                              const PresetConfig& preset) const {
   ComplexPrediction out;
   out.chain_a_length = a.sequence.length();
   out.truly_interacting = interactome.interacts(index_a, index_b);
@@ -63,8 +73,6 @@ ComplexPrediction ComplexEngine::predict_pair(const ProteinRecord& a, const Prot
   // Each chain is predicted with the monomer machinery (AF2Complex reuses
   // the monomer weights), then assembled: binders docked at touching
   // distance, non-binders drifting apart with degraded interface quality.
-  const InputFeatures fa = sample_features(a, LibraryKind::kReduced);
-  const InputFeatures fb = sample_features(b, LibraryKind::kReduced);
   const Prediction pa = monomer_engine_.predict(a, fa, five_models()[0], preset);
   const Prediction pb = monomer_engine_.predict(b, fb, five_models()[1], preset);
   if (pa.out_of_memory || pb.out_of_memory) {

@@ -71,8 +71,18 @@ class ComplexEngine {
 
   // Predict the complex of two records. Deterministic. Memory scales
   // with the combined length (the reason complex prediction OOMs so much
-  // earlier than monomers).
+  // earlier than monomers). Samples reduced-library features for both
+  // chains internally.
   ComplexPrediction predict_pair(const ProteinRecord& a, const ProteinRecord& b,
+                                 const Interactome& interactome, std::size_t index_a,
+                                 std::size_t index_b, const PresetConfig& preset) const;
+
+  // Same prediction from precomputed per-chain features -- the pair
+  // campaign's feature/inference split: features are computed once per
+  // chain (and cached in the artifact store), then reused across every
+  // pair the chain participates in.
+  ComplexPrediction predict_pair(const ProteinRecord& a, const ProteinRecord& b,
+                                 const InputFeatures& fa, const InputFeatures& fb,
                                  const Interactome& interactome, std::size_t index_a,
                                  std::size_t index_b, const PresetConfig& preset) const;
 

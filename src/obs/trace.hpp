@@ -126,6 +126,10 @@ struct MapAccounting {
 // dependency surface -- the store subsystem ranks above obs in the
 // layering DAG.
 struct StoreStageStats {
+  // Eviction policy name ("lru", "cost") when the store runs a
+  // non-default policy; empty under FIFO, so FIFO traces keep their
+  // historical byte image (the regression guard for PR 6 goldens).
+  std::string policy;
   std::uint64_t gets = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;

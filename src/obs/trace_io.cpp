@@ -74,7 +74,11 @@ void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& sta
     // Store traffic is emitted only when the campaign ran with a store
     // attached, so store-less traces keep their historical byte image.
     if (st.has_store) {
-      os << ",\"store\":{\"gets\":" << st.store.gets << ",\"hits\":" << st.store.hits
+      os << ",\"store\":{";
+      // Policy is named only when non-default, so FIFO traces keep the
+      // exact byte image of builds that predate pluggable eviction.
+      if (!st.store.policy.empty()) os << "\"policy\":\"" << json_escape(st.store.policy) << "\",";
+      os << "\"gets\":" << st.store.gets << ",\"hits\":" << st.store.hits
          << ",\"misses\":" << st.store.misses << ",\"puts\":" << st.store.puts
          << ",\"evictions\":" << st.store.evictions << ",\"bytesRead\":"
          << num(st.store.bytes_read) << ",\"bytesWritten\":" << num(st.store.bytes_written)
@@ -361,6 +365,7 @@ bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* err
     st.alt_pool_s = s.num_or("altPoolS", 0.0);
     if (const JsonValue* store = s.get("store"); store != nullptr) {
       st.has_store = true;
+      st.store.policy = store->str_or("policy", "");
       st.store.gets = static_cast<std::uint64_t>(store->num_or("gets", 0));
       st.store.hits = static_cast<std::uint64_t>(store->num_or("hits", 0));
       st.store.misses = static_cast<std::uint64_t>(store->num_or("misses", 0));

@@ -8,6 +8,31 @@
 
 namespace sf::store {
 
+const char* eviction_policy_name(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kFifo:
+      return "fifo";
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kCostAware:
+      return "cost";
+  }
+  return "fifo";
+}
+
+bool eviction_policy_from_name(const std::string& name, EvictionPolicy& out) {
+  if (name == "fifo") {
+    out = EvictionPolicy::kFifo;
+  } else if (name == "lru") {
+    out = EvictionPolicy::kLru;
+  } else if (name == "cost") {
+    out = EvictionPolicy::kCostAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void StoreStats::merge(const StoreStats& o) {
   gets += o.gets;
   hits += o.hits;
@@ -84,6 +109,10 @@ std::optional<std::string> ArtifactStore::get(const ArtifactKey& key) {
   d.bytes_read = static_cast<double>(entry->bytes);
   d.read_s = pricer_.read_seconds(static_cast<double>(entry->bytes));
   account(d);
+  // A hit is a use: under LRU the entry's recency tick moves to the
+  // front of the shared put/touch counter. FIFO and cost-aware ignore
+  // recency, so they skip the manifest line entirely.
+  if (policy_.eviction == EvictionPolicy::kLru) manifest_.append_touch(key);
   return payload;
 }
 
@@ -92,11 +121,12 @@ bool ArtifactStore::contains(const ArtifactKey& key) const {
 }
 
 void ArtifactStore::put(const ArtifactKey& key, const std::string& name,
-                        const std::string& payload, double modeled_bytes) {
+                        const std::string& payload, double modeled_bytes, double recompute_s) {
   write_file_atomic(object_path(key), [&](std::ostream& out) { out << payload; });
   const auto bytes = modeled_bytes <= 0.0 ? std::uint64_t{0}
                                           : static_cast<std::uint64_t>(modeled_bytes);
-  manifest_.append_put(key, bytes, content_checksum(payload), name);
+  manifest_.append_put(key, bytes, content_checksum(payload), name,
+                       policy_.eviction == EvictionPolicy::kCostAware ? recompute_s : 0.0);
   StoreStats d;
   d.puts = 1;
   d.bytes_written = static_cast<double>(bytes);
@@ -105,15 +135,46 @@ void ArtifactStore::put(const ArtifactKey& key, const std::string& name,
   evict_to_capacity(key);
 }
 
+const ManifestEntry* ArtifactStore::pick_victim(const ArtifactKey& keep) const {
+  const ManifestEntry* best = nullptr;
+  for (const auto& e : manifest_.entries()) {
+    if (e.key == keep) continue;
+    if (best == nullptr) {
+      best = &e;
+      continue;
+    }
+    bool better = false;
+    switch (policy_.eviction) {
+      case EvictionPolicy::kFifo:
+        better = e.seq < best->seq;
+        break;
+      case EvictionPolicy::kLru:
+        better = e.last_touch != best->last_touch ? e.last_touch < best->last_touch
+                                                  : e.seq < best->seq;
+        break;
+      case EvictionPolicy::kCostAware: {
+        const double de = e.cost_density();
+        const double db = best->cost_density();
+        better = de != db ? de < db : e.seq < best->seq;
+        break;
+      }
+    }
+    if (better) best = &e;
+  }
+  return best;
+}
+
 void ArtifactStore::evict_to_capacity(const ArtifactKey& keep) {
   if (policy_.capacity_bytes == 0) return;
-  // FIFO by seq: entries() is already in insertion order, so the front
-  // is always the eviction victim. The just-put entry is exempt -- a
-  // store too small for one artifact degrades to a pass-through cache,
-  // not a failure.
+  // The just-put entry is exempt -- a store too small for one artifact
+  // degrades to a pass-through cache, not a failure. Under FIFO the
+  // victim is always entries().front() (lowest seq), exactly the seed
+  // behavior; LRU and cost-aware scan the live set, which is small by
+  // construction (capacity pressure keeps it bounded).
   while (manifest_.total_bytes() > policy_.capacity_bytes && manifest_.size() > 1) {
-    const ManifestEntry victim = manifest_.entries().front();
-    if (victim.key == keep) break;
+    const ManifestEntry* chosen = pick_victim(keep);
+    if (chosen == nullptr) break;
+    const ManifestEntry victim = *chosen;  // append_evict invalidates the pointer
     manifest_.append_evict(victim.key);
     std::error_code ec;
     std::filesystem::remove(object_path(victim.key), ec);

@@ -68,12 +68,28 @@ struct StoreStats {
   void merge(const StoreStats& o);
 };
 
+// How the store picks eviction victims when a put pushes the live total
+// past capacity:
+//   kFifo      -- lowest seq (insertion order); the seed behavior, and
+//                 the only policy that writes a pure-v1 manifest.
+//   kLru       -- lowest recency tick; gets count as touches, and puts
+//                 count too (a fresh put's tick IS its seq).
+//   kCostAware -- lowest modeled recompute-seconds-per-byte: keep what
+//                 is expensive to rebuild relative to the space it eats.
+// All three tie-break by seq, so victim choice is a pure function of
+// the call sequence -- identical across reruns and executor backends.
+enum class EvictionPolicy { kFifo, kLru, kCostAware };
+
+const char* eviction_policy_name(EvictionPolicy policy);
+bool eviction_policy_from_name(const std::string& name, EvictionPolicy& out);
+
 struct StorePolicy {
   // Modeled-byte capacity; 0 means unbounded. When a put pushes the
-  // live total past this, the oldest entries (lowest seq) are evicted
+  // live total past this, victims chosen by `eviction` are evicted
   // until it fits -- except the entry just written, which survives even
   // if it alone exceeds capacity.
   std::uint64_t capacity_bytes = 0;
+  EvictionPolicy eviction = EvictionPolicy::kFifo;
 };
 
 class ArtifactStore {
@@ -99,8 +115,11 @@ class ArtifactStore {
 
   // Stores a payload under `key`. `modeled_bytes` is the artifact's
   // real-pipeline size used for capacity and pricing (see manifest.hpp).
+  // `recompute_s` is the modeled cost of rebuilding the artifact from
+  // scratch; it is recorded in the manifest only under kCostAware, so
+  // FIFO and LRU manifests carry no cost lines.
   void put(const ArtifactKey& key, const std::string& name, const std::string& payload,
-           double modeled_bytes);
+           double modeled_bytes, double recompute_s = 0.0);
 
   // Stats for the current (most recent) begin_stage window.
   const StoreStats& stage_stats() const;
@@ -112,6 +131,7 @@ class ArtifactStore {
   }
 
   const Manifest& manifest() const { return manifest_; }
+  const StorePolicy& policy() const { return policy_; }
   const std::string& dir() const { return dir_; }
   std::size_t size() const { return manifest_.size(); }
 
@@ -120,6 +140,7 @@ class ArtifactStore {
  private:
   void account(const StoreStats& delta);
   void evict_to_capacity(const ArtifactKey& keep);
+  const ManifestEntry* pick_victim(const ArtifactKey& keep) const;
 
   std::string dir_;
   StorePolicy policy_;

@@ -194,6 +194,29 @@ bool decode_prediction(const std::string& bytes, PredictionArtifact& out) {
   return decode_structure(lines, 1, out.structure);
 }
 
+std::string encode_pair(const PairArtifact& a) {
+  std::ostringstream out;
+  out << "sfpair v1 " << dhex(a.interface_score) << ' ' << dhex(a.ptms) << ' ' << a.recycles
+      << ' ' << (a.out_of_memory ? 1 : 0) << ' ' << (a.truly_interacting ? 1 : 0) << " end\n";
+  return out.str();
+}
+
+bool decode_pair(const std::string& bytes, PairArtifact& out) {
+  std::vector<std::vector<std::string>> lines;
+  if (!tokenize_lines(bytes, lines) || lines.size() != 1) return false;
+  const auto& t = lines[0];
+  if (t.size() != 7 || t[0] != "sfpair" || t[1] != "v1") return false;
+  int oom = 0;
+  int interacting = 0;
+  if (!parse_dhex(t[2], out.interface_score) || !parse_dhex(t[3], out.ptms) ||
+      !to_int(t[4], out.recycles) || !to_int(t[5], oom) || !to_int(t[6], interacting)) {
+    return false;
+  }
+  out.out_of_memory = oom != 0;
+  out.truly_interacting = interacting != 0;
+  return true;
+}
+
 std::string encode_relax(const RelaxArtifact& a) {
   std::ostringstream out;
   out << "sfrelax v1 " << a.clashes_before << ' ' << a.clashes_after << ' ' << a.bumps_before

@@ -47,6 +47,21 @@ struct PredictionArtifact {
 std::string encode_prediction(const PredictionArtifact& a);
 bool decode_prediction(const std::string& bytes, PredictionArtifact& out);
 
+// --- pair (PPI screening) stage ---------------------------------------
+// Everything the pair campaign needs to replay one screened pair
+// without running the complex engine: the journal-row fields the
+// report and sample sets are rebuilt from.
+struct PairArtifact {
+  double interface_score = 0.0;
+  double ptms = 0.0;
+  int recycles = 0;
+  bool out_of_memory = false;
+  bool truly_interacting = false;
+};
+
+std::string encode_pair(const PairArtifact& a);
+bool decode_pair(const std::string& bytes, PairArtifact& out);
+
 // --- relaxation stage -------------------------------------------------
 struct RelaxArtifact {
   std::size_t clashes_before = 0;

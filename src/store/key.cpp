@@ -60,6 +60,17 @@ ArtifactKey artifact_key(std::uint64_t record_fp, std::string_view stage,
   return key;
 }
 
+ArtifactKey pair_artifact_key(std::uint64_t fp_a, std::uint64_t fp_b, std::string_view stage,
+                              std::uint64_t config_fp) {
+  const std::uint64_t lo_fp = fp_a < fp_b ? fp_a : fp_b;
+  const std::uint64_t hi_fp = fp_a < fp_b ? fp_b : fp_a;
+  // Collapse the unordered pair into one synthetic record fingerprint,
+  // then reuse the single-record chain so pair and monomer keys share
+  // one address space without colliding (distinct domain tag).
+  const std::uint64_t pair_fp = mix64(mix64(stable_hash64("sf-pair-v1"), lo_fp), hi_fp);
+  return artifact_key(pair_fp, stage, config_fp);
+}
+
 std::uint64_t content_checksum(std::string_view bytes) {
   // FNV-1a over the payload, finalized through mix64 with the length so
   // truncation always changes the checksum even across a zero run.

@@ -51,6 +51,13 @@ std::uint64_t record_fingerprint(const ProteinRecord& rec);
 ArtifactKey artifact_key(std::uint64_t record_fp, std::string_view stage,
                          std::uint64_t config_fp);
 
+// Key of one unordered-pair artifact (PPI screening): the two record
+// fingerprints are order-normalized before hashing, so
+// pair_artifact_key(a, b, ...) == pair_artifact_key(b, a, ...) -- a
+// complex prediction is addressed by the pair, not by task ordering.
+ArtifactKey pair_artifact_key(std::uint64_t fp_a, std::uint64_t fp_b, std::string_view stage,
+                              std::uint64_t config_fp);
+
 // 64-bit integrity checksum of an artifact payload.
 std::uint64_t content_checksum(std::string_view bytes);
 

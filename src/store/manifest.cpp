@@ -1,6 +1,9 @@
 #include "store/manifest.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/file_io.hpp"
@@ -47,7 +50,37 @@ std::string put_line(const ManifestEntry& e) {
   return ss.str();
 }
 
+// Doubles cross the manifest as their IEEE-754 bit image (hex), the
+// same lossless discipline as the artifact codecs.
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string cost_line(const ManifestEntry& e) {
+  return std::string("cost ") + e.key.hex() + ' ' +
+         format("%016llx", static_cast<unsigned long long>(double_bits(e.cost_s))) + " end";
+}
+
+std::string touch_line(const ArtifactKey& key, std::uint64_t tick) {
+  std::ostringstream ss;
+  ss << "touch " << key.hex() << ' ' << tick << " end";
+  return ss.str();
+}
+
 }  // namespace
+
+double ManifestEntry::cost_density() const {
+  if (bytes == 0) return std::numeric_limits<double>::infinity();
+  return cost_s / static_cast<double>(bytes);
+}
 
 Manifest::Manifest(std::string path) : path_(std::move(path)) {}
 
@@ -65,6 +98,7 @@ bool Manifest::parse_line(const std::string& line) {
       return false;
     }
     e.name = tokens[5];
+    e.last_touch = e.seq;
     // A re-put of a live key supersedes the old entry (the object file
     // was rewritten in place).
     const auto it = index_.find(e.key);
@@ -93,13 +127,50 @@ bool Manifest::parse_line(const std::string& line) {
     for (std::size_t i = 0; i < live_.size(); ++i) index_[live_[i].key] = i;
     return true;
   }
+  if (kind == "touch") {
+    // touch <key> <tick> end
+    if (tokens.size() != 4) return false;
+    ArtifactKey key;
+    std::uint64_t tick = 0;
+    if (!ArtifactKey::from_hex(tokens[1], key) || !to_u64_dec(tokens[2], tick)) return false;
+    if (tick >= next_seq_) next_seq_ = tick + 1;
+    const auto it = index_.find(key);
+    if (it != index_.end()) live_[it->second].last_touch = tick;
+    return true;  // touch of an evicted key: idempotent, like evict
+  }
+  if (kind == "cost") {
+    // cost <key> <seconds-bits> end
+    if (tokens.size() != 4) return false;
+    ArtifactKey key;
+    std::uint64_t bits = 0;
+    if (!ArtifactKey::from_hex(tokens[1], key) || !to_u64_hex(tokens[2], bits)) return false;
+    const auto it = index_.find(key);
+    if (it != index_.end()) live_[it->second].cost_s = bits_double(bits);
+    return true;
+  }
   return false;  // unknown entry: treat as torn tail
 }
 
 std::string Manifest::canonical_image() const {
   std::ostringstream out;
   out << "sfstore v1 end\n";
-  for (const auto& e : live_) out << put_line(e) << '\n';
+  for (const auto& e : live_) {
+    out << put_line(e) << '\n';
+    if (e.cost_s != 0.0) out << cost_line(e) << '\n';
+  }
+  // One touch line per entry that was actually touched after insertion,
+  // in ascending tick order: replaying the image reproduces last_touch
+  // exactly, and a second canonicalization is a fixed point. A FIFO
+  // store never touches, so its image stays pure v1.
+  std::vector<const ManifestEntry*> touched;
+  for (const auto& e : live_) {
+    if (e.last_touch != e.seq) touched.push_back(&e);
+  }
+  std::sort(touched.begin(), touched.end(),
+            [](const ManifestEntry* a, const ManifestEntry* b) {
+              return a->last_touch < b->last_touch;
+            });
+  for (const ManifestEntry* e : touched) out << touch_line(e->key, e->last_touch) << '\n';
   return out.str();
 }
 
@@ -156,14 +227,18 @@ void Manifest::append_line(const std::string& line) {
 }
 
 ManifestEntry Manifest::append_put(const ArtifactKey& key, std::uint64_t bytes,
-                                   std::uint64_t checksum, const std::string& name) {
+                                   std::uint64_t checksum, const std::string& name,
+                                   double cost_s) {
   ManifestEntry e;
   e.key = key;
   e.bytes = bytes;
   e.checksum = checksum;
   e.seq = next_seq_++;
+  e.last_touch = e.seq;
+  e.cost_s = cost_s;
   e.name = name;
   append_line(put_line(e));
+  if (cost_s != 0.0) append_line(cost_line(e));
   const auto it = index_.find(key);
   if (it != index_.end()) {
     total_bytes_ -= live_[it->second].bytes;
@@ -175,6 +250,14 @@ ManifestEntry Manifest::append_put(const ArtifactKey& key, std::uint64_t bytes,
   index_[e.key] = live_.size();
   live_.push_back(e);
   return e;
+}
+
+void Manifest::append_touch(const ArtifactKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const std::uint64_t tick = next_seq_++;
+  live_[it->second].last_touch = tick;
+  append_line(touch_line(key, tick));
 }
 
 void Manifest::append_evict(const ArtifactKey& key) {

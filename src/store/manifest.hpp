@@ -14,6 +14,19 @@
 //   sfstore v1 end
 //   put <key:32hex> <bytes> <checksum:16hex> <seq> <name> end
 //   evict <key:32hex> end
+//   touch <key:32hex> <tick> end
+//   cost <key:32hex> <seconds:16hex IEEE-754 bits> end
+//
+// `touch` and `cost` are OPTIONAL policy metadata: a store running FIFO
+// eviction never writes either, so its manifest is byte-identical to the
+// v1 format. `touch` bumps an entry's recency tick (LRU); ticks share
+// the put counter, so "puts count as touches" falls out of seq
+// assignment. `cost` records the artifact's modeled recompute seconds
+// (cost-aware eviction weighs recompute-seconds-per-byte). Both survive
+// compact-on-open: the canonical image re-emits a cost line after each
+// put that has one, then one touch line per entry whose recency differs
+// from its insertion seq, in ascending tick order -- so eviction
+// decisions after a reopen match the uncompacted timeline exactly.
 //
 // `bytes` is the artifact's MODELED size (what the real pipeline would
 // move over the parallel filesystem -- e.g. InputFeatures::
@@ -36,10 +49,16 @@ namespace sf::store {
 
 struct ManifestEntry {
   ArtifactKey key;
-  std::uint64_t bytes = 0;     // modeled artifact size
-  std::uint64_t checksum = 0;  // content_checksum of the payload
-  std::uint64_t seq = 0;       // insertion counter (eviction order)
-  std::string name;            // human-readable label, e.g. "dv_00042/features"
+  std::uint64_t bytes = 0;       // modeled artifact size
+  std::uint64_t checksum = 0;    // content_checksum of the payload
+  std::uint64_t seq = 0;         // insertion counter (FIFO eviction order)
+  std::uint64_t last_touch = 0;  // recency tick (== seq until touched)
+  double cost_s = 0.0;           // modeled recompute seconds (cost-aware)
+  std::string name;              // human-readable label, e.g. "dv_00042/features"
+
+  // Cost-aware eviction ranks by recompute-seconds-per-modeled-byte;
+  // a zero-byte entry is free to keep, so it is never worth evicting.
+  double cost_density() const;
 };
 
 class Manifest {
@@ -57,11 +76,16 @@ class Manifest {
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t next_seq() const { return next_seq_; }
 
-  // Appends a `put` line and registers the entry (seq assigned here).
+  // Appends a `put` line and registers the entry (seq assigned here;
+  // last_touch starts at seq). A nonzero `cost_s` also appends a `cost`
+  // line recording the modeled recompute seconds.
   ManifestEntry append_put(const ArtifactKey& key, std::uint64_t bytes, std::uint64_t checksum,
-                           const std::string& name);
+                           const std::string& name, double cost_s = 0.0);
   // Appends an `evict` line and drops the entry; no-op for unknown keys.
   void append_evict(const ArtifactKey& key);
+  // Appends a `touch` line bumping the entry's recency tick from the
+  // shared put/touch counter; no-op for unknown keys.
+  void append_touch(const ArtifactKey& key);
 
   const std::string& path() const { return path_; }
 

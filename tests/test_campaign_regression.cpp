@@ -11,9 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "core/pipeline.hpp"
 #include "fold/memory_model.hpp"
+#include "store/artifact_store.hpp"
 
 namespace sf {
 namespace {
@@ -74,6 +76,48 @@ TEST(CampaignRegression, SeedFixedCampaignMatchesPreRefactorReport) {
   EXPECT_EQ(rep.targets[7].length, 199);
   EXPECT_EQ(rep.targets[7].recycles, 4);
   EXPECT_FALSE(rep.targets[7].relaxed);
+}
+
+TEST(CampaignRegression, FifoStoreUnderPressureLeavesGoldensUntouched) {
+  // Eviction pluggability must not perturb existing outputs: the same
+  // seed-fixed campaign, now with a capacity-squeezed kFifo store
+  // attached (evicting throughout), still lands on the PR 6 goldens.
+  FoldUniverse universe(40, 31);
+  SpeciesProfile profile = species_d_vulgaris();
+  const auto records = ProteomeGenerator(universe, profile, 12).generate(80);
+  PipelineConfig cfg;
+  cfg.summit_nodes = 4;
+  cfg.andes_nodes = 8;
+  cfg.relax_nodes = 1;
+  cfg.db_replicas = 4;
+  cfg.jobs_per_replica = 2;
+  cfg.quality_sample = 30;
+  cfg.relax_sample = 10;
+
+  const std::string dir = ::testing::TempDir() + "regression_fifo_store";
+  std::filesystem::remove_all(dir);
+  store::StorePolicy policy;
+  policy.eviction = store::EvictionPolicy::kFifo;
+  policy.capacity_bytes = 2000000;
+  store::ArtifactStore artifacts(dir, policy);
+  EXPECT_FALSE(artifacts.open());
+  const CampaignReport rep = Pipeline(universe, cfg).run(records, nullptr, nullptr, &artifacts);
+  EXPECT_GT(artifacts.total_stats().evictions, 0u);
+
+  expect_close(rep.features.wall_s, 3011.6797948717949, "features.wall_s");
+  expect_close(rep.features.node_hours, 6.6926217663817669, "features.node_hours");
+  expect_close(rep.features.mean_utilization, 0.99499557606110034, "features.util");
+  expect_close(rep.features.finish_spread_s, 20.919589743590222, "features.spread");
+  expect_close(rep.inference.wall_s, 5671.0117400000026, "inference.wall_s");
+  expect_close(rep.inference.node_hours, 6.3011241555555584, "inference.node_hours");
+  expect_close(rep.inference.mean_utilization, 0.99235026513760283, "inference.util");
+  expect_close(rep.inference.finish_spread_s, 71.219720000000052, "inference.spread");
+  expect_close(rep.relaxation.wall_s, 311.15559999999999, "relax.wall_s");
+  expect_close(rep.relaxation.node_hours, 0.086432111111111112, "relax.node_hours");
+  expect_close(rep.plddt.mean(), 82.580293685541449, "plddt.mean");
+  expect_close(rep.ptms.mean(), 0.85000878918260547, "ptms.mean");
+  ASSERT_EQ(rep.inference_records.size(), 400u);
+  expect_close(record_checksum(rep.inference_records), 4952653.9888200006, "records.checksum");
 }
 
 TEST(CampaignRegression, HighmemReroutePathMatchesPreRefactorReport) {

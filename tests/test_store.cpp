@@ -17,6 +17,7 @@
 #include "core/journal.hpp"
 #include "core/pipeline.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 #include "store/artifact_store.hpp"
 #include "store/codec.hpp"
 #include "store/key.hpp"
@@ -553,6 +554,47 @@ TEST(StoreCampaign, SealedStageWithColdStoreRecomputesMissesInline) {
             static_cast<std::uint64_t>(records.size()));
   EXPECT_EQ(cold.stage_history()[0].second.puts,
             static_cast<std::uint64_t>(records.size()));
+}
+
+TEST(StoreCampaign, FifoTraceStoreSectionMatchesPrePolicyByteImage) {
+  FoldUniverse universe(40, 31);
+  const auto records = ProteomeGenerator(universe, species_d_vulgaris(), 12).generate(8);
+  const PipelineConfig cfg = small_config();
+  const Pipeline pipeline(universe, cfg);
+
+  auto trace_with = [&](store::EvictionPolicy ep, const std::string& tag) {
+    store::StorePolicy policy;
+    policy.eviction = ep;
+    store::ArtifactStore artifacts(fresh_dir("store_trace_" + tag), policy);
+    artifacts.open();
+    obs::TraceRecorder recorder;
+    pipeline.run(records, nullptr, &recorder, &artifacts);
+    const std::string path = ::testing::TempDir() + "store_trace_" + tag + ".json";
+    obs::write_chrome_trace_file(path, recorder.stages(), nullptr);
+    return read_file(path);
+  };
+
+  // Default-policy (FIFO) traces must keep the exact byte image of
+  // builds that predate pluggable eviction: no "policy" key anywhere in
+  // the store sections. This is the regression guard for PR 6 goldens.
+  const std::string fifo = trace_with(store::EvictionPolicy::kFifo, "fifo");
+  EXPECT_NE(fifo.find("\"store\":{"), std::string::npos);
+  EXPECT_EQ(fifo.find("\"policy\""), std::string::npos);
+
+  // Non-default policies announce themselves, and the name round-trips.
+  const std::string lru = trace_with(store::EvictionPolicy::kLru, "lru");
+  EXPECT_NE(lru.find("\"policy\":\"lru\""), std::string::npos);
+  obs::TraceDoc doc;
+  std::string error;
+  ASSERT_TRUE(obs::parse_chrome_trace(lru, doc, &error)) << error;
+  ASSERT_FALSE(doc.stages.empty());
+  for (const obs::StageTrace& st : doc.stages) {
+    ASSERT_TRUE(st.has_store);
+    EXPECT_EQ(st.store.policy, "lru");
+  }
+  obs::TraceDoc fifo_doc;
+  ASSERT_TRUE(obs::parse_chrome_trace(fifo, fifo_doc, &error)) << error;
+  for (const obs::StageTrace& st : fifo_doc.stages) EXPECT_TRUE(st.store.policy.empty());
 }
 
 }  // namespace

@@ -43,8 +43,11 @@ void summarize_stage(const obs::StageTrace& st, std::ostream& out) {
   }
   if (m.has_store) {
     const obs::StoreStageStats& s = m.store;
-    out << format("  artifact store: %llu hit / %llu get (%.1f%%), %llu put, %llu evicted\n",
-                  (unsigned long long)s.hits, (unsigned long long)s.gets,
+    // Unnamed policy = the historical FIFO default; keep that line's
+    // byte image and only annotate the non-default policies.
+    const std::string policy = s.policy.empty() ? "" : " [" + s.policy + "]";
+    out << format("  artifact store%s: %llu hit / %llu get (%.1f%%), %llu put, %llu evicted\n",
+                  policy.c_str(), (unsigned long long)s.hits, (unsigned long long)s.gets,
                   100.0 * m.cache_hit_rate, (unsigned long long)s.puts,
                   (unsigned long long)s.evictions);
     out << format("    staged in %.0f B over %s, out %.0f B over %s\n", s.bytes_read,
