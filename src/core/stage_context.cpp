@@ -4,6 +4,7 @@
 
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
+#include "util/string_util.hpp"
 
 namespace sf {
 
@@ -82,7 +83,7 @@ obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage)
 
 obs::StageTraceInfo wave_trace_info(const StageContext& ctx, StageKind stage) {
   obs::StageTraceInfo info = stage_trace_info(ctx.config, stage);
-  if (ctx.wave >= 0) info.stage += "@" + std::to_string(ctx.wave);
+  if (ctx.wave >= 0) info.stage += "@" + format("%d", ctx.wave);
   return info;
 }
 

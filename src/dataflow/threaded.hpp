@@ -15,6 +15,7 @@
 
 #include "dataflow/task.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wallclock.hpp"
 
 namespace sf {
 
@@ -35,12 +36,15 @@ class ThreadedDataflow {
     // Wall-clock is legitimate here and nowhere else in src/: this
     // backend *measures* real execution, and its spans are observability
     // output only -- no deterministic artifact is derived from them.
-    const auto t0 = std::chrono::steady_clock::now();  // sfcheck:allow(D2): real-execution backend measures wall time; spans never feed deterministic artifacts
+    // All reads go through the sanctioned sf::util::wallclock_now()
+    // shim, the one D2-exempt site (and an R1 sink: task functions may
+    // never reach it).
+    const auto t0 = sf::util::wallclock_now();
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       futures.push_back(pool_.submit([this, &tasks, &results, &fn, i, t0] {
-        const auto start = std::chrono::steady_clock::now();  // sfcheck:allow(D2): real-execution backend measures wall time; spans never feed deterministic artifacts
+        const auto start = sf::util::wallclock_now();
         results[i] = fn(tasks[i]);
-        const auto end = std::chrono::steady_clock::now();  // sfcheck:allow(D2): real-execution backend measures wall time; spans never feed deterministic artifacts
+        const auto end = sf::util::wallclock_now();
         record(tasks[i], std::chrono::duration<double>(start - t0).count(),
                std::chrono::duration<double>(end - t0).count());
       }));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/string_util.hpp"
+
 namespace sf {
 
 void RunningStats::add(double x) {
@@ -166,9 +168,8 @@ std::string Histogram::ascii(std::size_t width) const {
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     const auto bar = static_cast<std::size_t>(
         static_cast<double>(counts_[b]) / static_cast<double>(peak) * static_cast<double>(width));
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "[%8.2f,%8.2f) %6zu |", bin_lo(b), bin_hi(b), counts_[b]);
-    out << buf << std::string(bar, '#') << '\n';
+    out << format("[%8.2f,%8.2f) %6zu |", bin_lo(b), bin_hi(b), counts_[b])
+        << std::string(bar, '#') << '\n';
   }
   return out.str();
 }

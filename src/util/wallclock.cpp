@@ -1,0 +1,9 @@
+#include "util/wallclock.hpp"
+
+namespace sf::util {
+
+std::chrono::steady_clock::time_point wallclock_now() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace sf::util

@@ -1,0 +1,23 @@
+// The one sanctioned wall-clock read in src/.
+//
+// Everything deterministic runs on simulated time (sim/), and sfcheck's
+// D2 rule bans std::chrono clocks tree-wide. The single legitimate
+// exception is the real-execution observability path: the threaded
+// dataflow backend measures how long tasks *actually* took, and those
+// spans feed the statistics CSV only -- never a replay-grade artifact.
+// Routing that read through this shim keeps the exemption rule-scoped
+// (sfcheck exempts src/util/wallclock.* the way it exempts the RNG
+// home) instead of suppression-scoped, so the tree carries zero inline
+// sfcheck:allow comments. The interprocedural rule R1 still treats a
+// call to wallclock_now() as a nondeterminism sink: executor task
+// functions may never reach it through any call chain.
+#pragma once
+
+#include <chrono>
+
+namespace sf::util {
+
+// Monotonic now(). Use only for measuring real execution spans.
+std::chrono::steady_clock::time_point wallclock_now();
+
+}  // namespace sf::util

@@ -1,0 +1,12 @@
+// examples/ is a pseudo-module: its stdout tables are replay artifacts,
+// so the order-determinism rule D3 covers it like the src/ emit
+// modules. (D5 does not: examples format via printf with explicit
+// precision by convention.)
+#include <cstdio>
+#include <unordered_map>
+
+void print_counts(const std::unordered_map<int, int>& counts) {
+  for (const auto& [k, v] : counts) {
+    std::printf("%d %d\n", k, v);
+  }
+}

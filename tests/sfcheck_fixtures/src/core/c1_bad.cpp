@@ -1,0 +1,20 @@
+// C1 fixture: the three impurity patterns in task lambdas -- mutation
+// of captured state (method and compound-assign), a store call inside
+// the task body, and a `mutable` lambda.
+#include <vector>
+
+void run_c1_stage(std::vector<double>& acc, double acc_total, Ctx& ctx) {
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    TaskOutcome o;
+    acc.push_back(o.sim_duration_s);
+    acc_total += o.sim_duration_s;
+    ctx.store->put(t.id);
+    return o;
+  };
+  const TaskFn worker = [=](const TaskSpec& t, const TaskAttempt&) mutable {
+    TaskOutcome o;
+    return o;
+  };
+  (void)fn;
+  (void)worker;
+}

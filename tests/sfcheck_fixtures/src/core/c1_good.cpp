@@ -1,0 +1,13 @@
+// C1 fixture: the sanctioned pure task-function shape -- locals plus
+// per-task slot writes only.
+#include <vector>
+
+void run_c1_good(std::vector<double>& results) {
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    TaskOutcome o;
+    o.sim_duration_s = 1.5;
+    results[t.id] = o.sim_duration_s;
+    return o;
+  };
+  (void)fn;
+}

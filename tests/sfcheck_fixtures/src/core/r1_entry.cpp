@@ -1,0 +1,13 @@
+// R1 fixture: the task function is locally clean -- the wall-clock
+// read is two calls away (helper_a in r1_mid.cpp, geom_helper in
+// src/geom/r1_sink.cpp). Only the interprocedural rule can see it.
+double helper_a(int seed);
+
+void run_r1_stage() {
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    TaskOutcome o;
+    o.sim_duration_s = helper_a(t.id);
+    return o;
+  };
+  (void)fn;
+}

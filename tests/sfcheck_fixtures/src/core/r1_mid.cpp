@@ -1,0 +1,6 @@
+// Middle hop of the R1 chain fixture: nothing wrong here either.
+double geom_helper(int seed);
+
+double helper_a(int seed) {
+  return geom_helper(seed) * 2.0;
+}

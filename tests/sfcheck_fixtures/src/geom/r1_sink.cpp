@@ -1,0 +1,9 @@
+// Sink of the R1 chain fixture: a real wall-clock read. D2 flags this
+// line locally; R1 reports the full chain from the task entry in
+// src/core/r1_entry.cpp.
+#include <chrono>
+
+double geom_helper(int seed) {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count() % (seed + 1));
+}

@@ -1,0 +1,14 @@
+// D5 fixture: the banned float-formatting forms in an emit module --
+// bare stream insertion of a float, std::to_string, a direct
+// printf-family call, and a precision-less %f spec.
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+void emit_d5_bad(std::ostream& out) {
+  double total = 3.5;
+  out << total;
+  const std::string s = std::to_string(total);
+  std::printf("%f\n", total);
+  (void)s;
+}

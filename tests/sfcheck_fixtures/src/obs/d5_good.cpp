@@ -1,0 +1,11 @@
+// D5 fixture: canonical formatting -- sf::format with explicit
+// precision on every float conversion.
+#include <string>
+
+#include "util/string_util.hpp"
+
+std::string emit_d5_good(double v, int wave) {
+  std::string line = sf::format("%.17g", v);
+  line += sf::format("|%d", wave);
+  return line;
+}

@@ -271,17 +271,21 @@ TEST(Sfcheck, LiteralsAndCommentsNeverFire) {
 
 TEST(Sfcheck, WholeFixtureTreeCounts) {
   const auto r = scan({
-      "src/bio/l1_bad.hpp", "src/core/d1_bad.cpp", "src/core/d1_good.cpp",
+      "examples/d3_bad.cpp", "src/bio/l1_bad.hpp", "src/core/c1_bad.cpp",
+      "src/core/c1_good.cpp", "src/core/d1_bad.cpp", "src/core/d1_good.cpp",
       "src/core/d2_bad.cpp", "src/core/d2_good.cpp", "src/core/d3_bad.cpp",
       "src/core/d3_good.cpp", "src/core/d4_bad.cpp", "src/core/d4_good.cpp",
-      "src/core/strings_ok.cpp", "src/core/suppress_noreason.cpp",
-      "src/core/suppress_ok.cpp", "src/fold/cycle_a.hpp", "src/fold/l1_good.cpp",
-      "src/geom/d3_unscoped.cpp", "src/obs/d3_bad.cpp", "src/obs/l1_bad.hpp",
-      "src/sim/cycle_b.hpp", "src/store/d3_bad.cpp", "src/store/l1_bad.hpp",
-      "tools/sftrace/d4_bad.cpp", "tools/sftrace/l1_bad.cpp",
+      "src/core/r1_entry.cpp", "src/core/r1_mid.cpp", "src/core/strings_ok.cpp",
+      "src/core/suppress_noreason.cpp", "src/core/suppress_ok.cpp",
+      "src/fold/cycle_a.hpp", "src/fold/l1_good.cpp", "src/geom/d3_unscoped.cpp",
+      "src/geom/r1_sink.cpp", "src/obs/d3_bad.cpp", "src/obs/d5_bad.cpp",
+      "src/obs/d5_good.cpp", "src/obs/l1_bad.hpp", "src/sim/cycle_b.hpp",
+      "src/store/d3_bad.cpp", "src/store/l1_bad.hpp", "tools/sftrace/d4_bad.cpp",
+      "tools/sftrace/l1_bad.cpp",
   });
-  // 3 D1 + 2 D2 + 4 D3 + 3 D4 + 1 SUP + 4 L1 includes + 1 L1 cycle.
-  EXPECT_EQ(r.diagnostics.size(), 18u);
+  // 3 D1 + 3 D2 + 5 D3 + 3 D4 + 4 D5 + 1 SUP + 4 L1 includes + 1 L1
+  // cycle + 1 R1 + 4 C1.
+  EXPECT_EQ(r.diagnostics.size(), 29u);
   EXPECT_EQ(r.suppressed.size(), 1u);
   // Ordered by (file, line, rule): the include-graph cycle sorts first.
   EXPECT_EQ(r.diagnostics[0].file, "(include-graph)");
@@ -298,7 +302,243 @@ TEST(Sfcheck, PathScoping) {
   EXPECT_EQ(sf::lint::module_of("tools/sfcheck/main.cpp"), "sfcheck");
   EXPECT_EQ(sf::lint::module_of("tools/sftrace/main.cpp"), "sftrace");
   EXPECT_EQ(sf::lint::module_of("src/CMakeLists.txt"), "");
-  EXPECT_EQ(sf::lint::module_of("examples/quickstart.cpp"), "");
+  // examples/ is a pseudo-module so the emit-scoped rules cover the
+  // CLIs' report bytes.
+  EXPECT_EQ(sf::lint::module_of("examples/quickstart.cpp"), "examples");
+  EXPECT_EQ(sf::lint::module_of("examples/sub/tool.cpp"), "examples");
+}
+
+// ---------------------------------------------------------------------
+// Interprocedural rules (R1 taint, C1 closure purity).
+// ---------------------------------------------------------------------
+
+TEST(Sfcheck, R1ReportsCrossFileCallChainToClock) {
+  const auto r =
+      scan({"src/core/r1_entry.cpp", "src/core/r1_mid.cpp", "src/geom/r1_sink.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  // The entry anchors the interprocedural finding; the sink file also
+  // gets the plain file-local D2.
+  expect_diag(r, 0, "src/core/r1_entry.cpp", 7, "R1");
+  expect_diag(r, 1, "src/geom/r1_sink.cpp", 7, "D2");
+  EXPECT_NE(r.diagnostics[0].message.find(
+                "fn -> helper_a() -> geom_helper() -> std::chrono::steady_clock"),
+            std::string::npos);
+  const std::vector<std::string> want_chain = {
+      "fn@src/core/r1_entry.cpp:7",
+      "helper_a@src/core/r1_mid.cpp:4",
+      "geom_helper@src/geom/r1_sink.cpp:6",
+      "std::chrono::steady_clock@src/geom/r1_sink.cpp:7",
+  };
+  EXPECT_EQ(r.diagnostics[0].chain, want_chain);
+}
+
+TEST(Sfcheck, R1SilentWithoutTheSinkFile) {
+  // Same entry + mid, but the sink's definition is not in the scan set:
+  // the chain dead-ends at an unresolved name and nothing fires.
+  const auto r = scan({"src/core/r1_entry.cpp", "src/core/r1_mid.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, R1TreatsWallclockShimCallAsSink) {
+  SourceFile f{"src/core/uses_shim.cpp",
+               "void go() {\n"
+               "  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {\n"
+               "    return wallclock_now();\n"
+               "  };\n"
+               "}\n"};
+  const auto r = sf::lint::run({f}, Config::project_default());
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "R1");
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+  EXPECT_NE(r.diagnostics[0].message.find("fn -> wallclock_now()"), std::string::npos);
+}
+
+TEST(Sfcheck, R1SuppressibleAtTheEntryLine) {
+  SourceFile f{"src/core/uses_shim.cpp",
+               "void go() {\n"
+               "  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {  "
+               "// sfcheck:allow(R1): measured span feeds the stats CSV only\n"
+               "    return wallclock_now();\n"
+               "  };\n"
+               "}\n"};
+  const auto r = sf::lint::run({f}, Config::project_default());
+  EXPECT_TRUE(r.diagnostics.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "R1");
+}
+
+TEST(Sfcheck, C1FlagsImpureTaskLambdas) {
+  const auto r = scan({"src/core/c1_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 4u);
+  // Same (file, line, rule) sorts by message: store call, mutating
+  // method, compound assignment -- then the mutable lambda.
+  expect_diag(r, 0, "src/core/c1_bad.cpp", 7, "C1");
+  expect_diag(r, 1, "src/core/c1_bad.cpp", 7, "C1");
+  expect_diag(r, 2, "src/core/c1_bad.cpp", 7, "C1");
+  expect_diag(r, 3, "src/core/c1_bad.cpp", 14, "C1");
+  EXPECT_NE(r.diagnostics[0].message.find("'store->put()'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[1].message.find("'acc.push_back()'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[2].message.find("'acc_total'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[3].message.find("'mutable'"), std::string::npos);
+}
+
+TEST(Sfcheck, C1AllowsLocalsAndPerTaskSlotWrites) {
+  const auto r = scan({"src/core/c1_good.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, C1AndR1SkipTheExecutorFrameworkItself) {
+  // The executor's own fault-injection wrapper is a TaskFn too, but it
+  // implements the contract (mutex-guarded accounting by design).
+  auto bad = load_fixture("src/core/c1_bad.cpp");
+  bad.path = "src/dataflow/executor.cpp";
+  const auto r = sf::lint::run({bad}, Config::project_default());
+  for (const auto& d : r.diagnostics) EXPECT_NE(d.rule, "C1") << d.message;
+}
+
+// ---------------------------------------------------------------------
+// D5: canonical float formatting.
+// ---------------------------------------------------------------------
+
+TEST(Sfcheck, D5FlagsNonCanonicalFloatFormatting) {
+  const auto r = scan({"src/obs/d5_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 4u);
+  expect_diag(r, 0, "src/obs/d5_bad.cpp", 10, "D5");  // bare << of float
+  expect_diag(r, 1, "src/obs/d5_bad.cpp", 11, "D5");  // std::to_string
+  expect_diag(r, 2, "src/obs/d5_bad.cpp", 12, "D5");  // direct printf
+  expect_diag(r, 3, "src/obs/d5_bad.cpp", 12, "D5");  // %f without precision
+  EXPECT_NE(r.diagnostics[0].message.find("'total'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[1].message.find("to_string"), std::string::npos);
+  EXPECT_NE(r.diagnostics[2].message.find("printf"), std::string::npos);
+  EXPECT_NE(r.diagnostics[3].message.find("precision-less"), std::string::npos);
+}
+
+TEST(Sfcheck, D5AllowsCanonicalSfFormat) {
+  const auto r = scan({"src/obs/d5_good.cpp"});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Sfcheck, D5ExemptsTheFormatterHomeFromTheStdioBan) {
+  // sf::format's own vsnprintf lives in src/util/string_util.*; the
+  // stdio ban does not apply there (the other D5 checks still do).
+  auto bad = load_fixture("src/obs/d5_bad.cpp");
+  bad.path = "src/util/string_util.cpp";
+  const auto r = sf::lint::run({bad}, Config::project_default());
+  for (const auto& d : r.diagnostics) {
+    EXPECT_EQ(d.message.find("direct printf"), std::string::npos) << d.message;
+    EXPECT_EQ(d.message.find("precision-less"), std::string::npos) << d.message;
+  }
+}
+
+TEST(Sfcheck, D5OnlyAppliesToEmitModules) {
+  // geom (and examples/) are outside the D5 scope.
+  auto bad = load_fixture("src/obs/d5_bad.cpp");
+  bad.path = "src/geom/d5_unscoped.cpp";
+  const auto geom = sf::lint::run({bad}, Config::project_default());
+  EXPECT_TRUE(geom.diagnostics.empty());
+  bad.path = "examples/d5_unscoped.cpp";
+  const auto ex = sf::lint::run({bad}, Config::project_default());
+  EXPECT_TRUE(ex.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------
+// Scoping changes: examples/ pseudo-module, wallclock home.
+// ---------------------------------------------------------------------
+
+TEST(Sfcheck, D3CoversExamplesPseudoModule) {
+  const auto r = scan({"examples/d3_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "examples/d3_bad.cpp", 9, "D3");
+  EXPECT_NE(r.diagnostics[0].message.find("counts"), std::string::npos);
+}
+
+TEST(Sfcheck, D2ExemptsTheWallclockHome) {
+  // The same clock reads are legal inside src/util/wallclock.* -- the
+  // one sanctioned shim.
+  auto bad = load_fixture("src/core/d2_bad.cpp");
+  bad.path = "src/util/wallclock.cpp";
+  const auto r = sf::lint::run({bad}, Config::project_default());
+  for (const auto& d : r.diagnostics) EXPECT_NE(d.rule, "D2") << d.message;
+}
+
+// ---------------------------------------------------------------------
+// Baseline gating.
+// ---------------------------------------------------------------------
+
+TEST(Sfcheck, BaselineRoundTripAndDiff) {
+  const auto r = scan({"src/core/d4_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  const std::string key = sf::lint::baseline_key(r.diagnostics[0]);
+  EXPECT_EQ(key.rfind("D4|src/core/d4_bad.cpp|", 0), 0u) << key;
+
+  const std::string image = sf::lint::render_baseline(r);
+  const auto keys = sf::lint::parse_baseline(image);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], key);
+
+  EXPECT_TRUE(sf::lint::baseline_new(r.diagnostics, keys).empty());
+  const auto fresh = sf::lint::baseline_new(r.diagnostics, {});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].rule, "D4");
+}
+
+TEST(Sfcheck, BaselineKeysAreAMultiset) {
+  // Two identical findings on different lines share a key (keys omit
+  // line numbers); one baseline entry absorbs exactly one of them.
+  SourceFile f{"src/core/two_ofstreams.cpp",
+               "#include <fstream>\n"
+               "void a(const char* p) { std::ofstream out(p); }\n"
+               "void b(const char* p) { std::ofstream out(p); }\n"};
+  const auto r = sf::lint::run({f}, Config::project_default());
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  EXPECT_EQ(sf::lint::baseline_key(r.diagnostics[0]),
+            sf::lint::baseline_key(r.diagnostics[1]));
+  const auto fresh = sf::lint::baseline_new(
+      r.diagnostics, {sf::lint::baseline_key(r.diagnostics[0])});
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].line, 3);
+}
+
+TEST(Sfcheck, BaselineParserIgnoresCommentsAndBlanks) {
+  const auto keys = sf::lint::parse_baseline(
+      "# header\n\n  \nB|b.cpp|msg\n# tail\nA|a.cpp|msg\n");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "A|a.cpp|msg");  // sorted
+  EXPECT_EQ(keys[1], "B|b.cpp|msg");
+}
+
+// ---------------------------------------------------------------------
+// SARIF rendering.
+// ---------------------------------------------------------------------
+
+TEST(Sfcheck, SarifMatchesGoldenByteForByte) {
+  const auto r = scan({"src/core/r1_entry.cpp", "src/core/r1_mid.cpp",
+                       "src/geom/r1_sink.cpp", "src/core/suppress_ok.cpp"});
+  const std::filesystem::path golden_path =
+      std::filesystem::path(SFCHECK_FIXTURE_DIR) / "golden.sarif";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(sf::lint::render_sarif(r), ss.str());
+}
+
+TEST(Sfcheck, SarifCarriesRuleTableChainAndSuppression) {
+  const auto r = scan({"src/core/r1_entry.cpp", "src/core/r1_mid.cpp",
+                       "src/geom/r1_sink.cpp", "src/core/suppress_ok.cpp"});
+  const std::string sarif = sf::lint::render_sarif(r);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"R1\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"codeFlows\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"kind\": \"inSource\""), std::string::npos);
+  EXPECT_NE(sarif.find("fixture demonstrating a reasoned suppression"),
+            std::string::npos);
+  // Every rule id is present in the driver table whether or not it
+  // fired, so ruleIndex stays stable across reports.
+  for (const char* id : {"\"id\": \"D1\"", "\"id\": \"D5\"", "\"id\": \"C1\"",
+                         "\"id\": \"SUP\""}) {
+    EXPECT_NE(sarif.find(id), std::string::npos) << id;
+  }
 }
 
 TEST(Sfcheck, RendersTextAndJson) {

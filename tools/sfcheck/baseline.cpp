@@ -1,0 +1,62 @@
+// Baseline gating: tools/sfcheck/baseline.sfcheck inventories known
+// violations so CI can fail on *new* findings only while a rule rolls
+// out. Keys are "rule|file|message" -- no line numbers, so edits above
+// a known finding do not churn the committed file.
+#include <algorithm>
+#include <sstream>
+
+#include "lex.hpp"
+#include "sfcheck.hpp"
+
+namespace sf::lint {
+
+std::string baseline_key(const Diagnostic& d) {
+  return d.rule + "|" + d.file + "|" + d.message;
+}
+
+std::string render_baseline(const ScanResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.diagnostics.size());
+  for (const Diagnostic& d : result.diagnostics) keys.push_back(baseline_key(d));
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream o;
+  o << "# sfcheck baseline: known violations, one `rule|file|message` key per\n";
+  o << "# line. CI gates on findings NOT in this file; shrink it, never grow\n";
+  o << "# it. Regenerate with:\n";
+  o << "#   sfcheck --root . --write-baseline > tools/sfcheck/baseline.sfcheck\n";
+  for (const std::string& k : keys) o << k << "\n";
+  return o.str();
+}
+
+std::vector<std::string> parse_baseline(const std::string& text) {
+  std::vector<std::string> keys;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim_ws(line);
+    if (t.empty() || t[0] == '#') continue;
+    keys.push_back(t);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<Diagnostic> baseline_new(const std::vector<Diagnostic>& diags,
+                                     const std::vector<std::string>& baseline) {
+  // Multiset difference: N identical keys in the baseline absorb at
+  // most N identical findings.
+  std::vector<std::string> pool = baseline;  // sorted by contract
+  std::vector<Diagnostic> fresh;
+  for (const Diagnostic& d : diags) {
+    const std::string key = baseline_key(d);
+    const auto it = std::lower_bound(pool.begin(), pool.end(), key);
+    if (it != pool.end() && *it == key) {
+      pool.erase(it);
+    } else {
+      fresh.push_back(d);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace sf::lint

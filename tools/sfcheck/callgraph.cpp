@@ -1,0 +1,390 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "sfcheck.hpp"
+#include "vocab.hpp"
+
+namespace sf::lint {
+
+namespace {
+
+using NodeId = std::pair<std::string, std::size_t>;  // (file, def index)
+
+// One nondeterminism sink inside a function body.
+struct Sink {
+  int line = 0;
+  std::string token;  // display name, e.g. "std::chrono::steady_clock"
+  std::string what;   // human classification for the message tail
+};
+
+bool is_identifier(const std::string& s) {
+  return !s.empty() && is_ident_start(s[0]);
+}
+
+bool matches_receiver(const std::string& ident, const std::vector<std::string>& receivers) {
+  for (const auto& r : receivers) {
+    if (ident == r || ident == r + "_") return true;
+    if (ident.size() > r.size() + 1 &&
+        ident.compare(ident.size() - r.size() - 1, r.size() + 1, "_" + r) == 0)
+      return true;
+  }
+  return false;
+}
+
+// Classify the nondeterminism sinks in one def's body. Home-path
+// exemptions mirror the file-local rules: the RNG home may touch raw
+// entropy, the wallclock home may read the clock, the torn-write
+// helpers may open ofstreams. Calling *into* a home from a task chain
+// is still reported via the callee-name sinks (wallclock_now).
+std::vector<Sink> classify_sinks(const FunctionDef& def, const std::vector<Token>& t,
+                                 const Config& cfg, const std::set<std::string>& unordered_vars,
+                                 bool in_d3_module) {
+  std::vector<Sink> sinks;
+  const bool rng_exempt = path_starts_with(def.file, cfg.rng_home);
+  const bool clock_exempt = path_starts_with(def.file, cfg.wallclock_home);
+  bool ofstream_exempt = false;
+  for (const auto& prefix : cfg.d4_allowed_prefixes) {
+    if (path_starts_with(def.file, prefix)) ofstream_exempt = true;
+  }
+  for (std::size_t i = def.body_begin; i < def.body_end && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
+    if (!clock_exempt && clock_type_tokens().count(s)) {
+      sinks.push_back({t[i].line, "std::chrono::" + s, "wall-clock read"});
+    } else if (!clock_exempt && clock_call_tokens().count(s) && tok(t, i + 1) == "(" &&
+               prev != "." && prev != "->") {
+      sinks.push_back({t[i].line, s + "()", "wall-clock read"});
+    } else if (s == "wallclock_now" && tok(t, i + 1) == "(") {
+      sinks.push_back({t[i].line, "wallclock_now()", "wall-clock read"});
+    } else if (!rng_exempt && (s == "rand" || s == "srand") && tok(t, i + 1) == "(" &&
+               prev != "." && prev != "->") {
+      sinks.push_back({t[i].line, s + "()", "non-sf::Rng randomness"});
+    } else if (!rng_exempt && s == "random_device") {
+      sinks.push_back({t[i].line, "std::random_device", "non-sf::Rng randomness"});
+    } else if (!ofstream_exempt && s == "ofstream") {
+      sinks.push_back({t[i].line, "std::ofstream", "naked file output"});
+    }
+  }
+  if (in_d3_module) {
+    std::vector<std::pair<int, std::string>> iters;
+    unordered_iteration_sites(t, def.body_begin, def.body_end, unordered_vars, iters);
+    for (const auto& [line, var] : iters) {
+      sinks.push_back({line, "unordered iteration over '" + var + "'",
+                       "order-nondeterministic emit"});
+    }
+  }
+  return sinks;
+}
+
+std::string hop(const FunctionDef& def) {
+  std::ostringstream out;
+  out << def.qual << "@" << def.file << ":" << def.line;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// C1: closure purity of task lambdas.
+// ---------------------------------------------------------------------
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> k = {
+      "push_back", "pop_back", "emplace_back", "emplace", "insert", "erase",
+      "clear",     "resize",   "assign",       "append",  "push",   "pop",
+      "reset",     "write",
+  };
+  return k;
+}
+
+const std::set<std::string>& decl_stop_words() {
+  static const std::set<std::string> k = {"return", "else", "new",  "delete", "throw",
+                                          "case",   "goto", "do",   "in",     "sizeof"};
+  return k;
+}
+
+// Names declared inside the lambda (parameters + body locals), i.e. the
+// names whose mutation is task-private and legal. Pattern-based: an
+// identifier directly following another identifier (or a `&`/`*` that
+// follows one) is a declaration; structured bindings after `auto` are
+// walked element-wise.
+std::set<std::string> collect_locals(const std::vector<Token>& t, std::size_t begin,
+                                     std::size_t end) {
+  std::set<std::string> locals;
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (!is_identifier(s)) continue;
+    const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
+    if (is_identifier(prev) && !decl_stop_words().count(prev)) {
+      locals.insert(s);
+    } else if ((prev == "&" || prev == "*") && i >= 2 && is_identifier(t[i - 2].text) &&
+               !decl_stop_words().count(t[i - 2].text)) {
+      locals.insert(s);
+    } else if (prev == "[" && i >= 2 &&
+               (t[i - 2].text == "auto" ||
+                (t[i - 2].text == "&" && i >= 3 && t[i - 3].text == "auto"))) {
+      // Structured binding: auto [a, b] / auto& [a, b].
+      for (std::size_t j = i; j < end && t[j].text != "]"; ++j) {
+        if (is_identifier(t[j].text)) locals.insert(t[j].text);
+      }
+    }
+  }
+  return locals;
+}
+
+// Walk the postfix chain starting at base identifier t[i]: subscripts,
+// member selects, and a possible trailing call. Reports what the chain
+// does so the caller can decide if it mutates captured state.
+struct ChainUse {
+  std::size_t end = 0;        // first token past the chain
+  bool has_subscript = false;
+  std::string final_member;   // last .member / ->member name ("" = base)
+  bool is_call = false;       // chain ends in final_member(...)
+  bool assigned = false;      // chain is the target of =, op=, ++ or --
+};
+
+ChainUse walk_chain(const std::vector<Token>& t, std::size_t i) {
+  ChainUse use;
+  std::size_t k = i + 1;
+  while (k < t.size()) {
+    if (t[k].text == "[") {
+      use.has_subscript = true;
+      k = skip_balanced(t, k);
+    } else if ((t[k].text == "." || t[k].text == "->") && is_identifier(tok(t, k + 1))) {
+      use.final_member = t[k + 1].text;
+      k += 2;
+    } else {
+      break;
+    }
+  }
+  if (tok(t, k) == "(" && !use.final_member.empty()) {
+    use.is_call = true;
+    k = skip_balanced(t, k);
+    use.end = k;
+    return use;  // a call chain is never also an assignment target here
+  }
+  // Assignment / compound assignment / increment at the chain end.
+  const std::string& a = tok(t, k);
+  const std::string& b = tok(t, k + 1);
+  const std::string& c = tok(t, k + 2);
+  if (a == "=" && b != "=") {
+    use.assigned = true;
+  } else if ((a == "+" || a == "-" || a == "*" || a == "/" || a == "%" || a == "&" ||
+              a == "|" || a == "^") &&
+             b == "=" && c != "=") {
+    use.assigned = true;
+  } else if ((a == "+" && b == "+") || (a == "-" && b == "-")) {
+    use.assigned = true;
+  }
+  use.end = k;
+  return use;
+}
+
+void check_task_lambda(const FunctionDef& def, const std::vector<Token>& t, const Config& cfg,
+                       std::vector<InterprocFinding>& out) {
+  auto finding = [&](const std::string& message) {
+    InterprocFinding f;
+    f.file = def.file;
+    f.line = def.line;
+    f.rule = "C1";
+    f.message = message;
+    f.chain = {hop(def)};
+    out.push_back(f);
+  };
+
+  if (def.is_mutable) {
+    finding("'mutable' task lambda carries state across attempts; task functions must be "
+            "pure (chaos replay re-runs them in any order)");
+  }
+
+  std::set<std::string> locals =
+      collect_locals(t, def.param_begin, def.param_end);
+  {
+    std::set<std::string> body_locals = collect_locals(t, def.body_begin, def.body_end);
+    locals.insert(body_locals.begin(), body_locals.end());
+  }
+
+  std::set<std::string> reported;  // dedup per offending name
+  for (std::size_t i = def.body_begin; i < def.body_end && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (!is_identifier(s)) continue;
+    const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
+    if (prev == "." || prev == "->") continue;  // mid-chain; handled from its base
+
+    // Serial-receiver calls: ctx.store->put(..), journal->append(..).
+    // The receiver may itself be a member (ctx.store), so this check
+    // runs on every chain regardless of the base.
+    ChainUse use = walk_chain(t, i);
+    if (use.is_call) {
+      // Find the receiver identifier directly before the called member.
+      for (std::size_t k = i; k + 2 < use.end && k < t.size(); ++k) {
+        if ((t[k + 1].text == "." || t[k + 1].text == "->") && is_identifier(t[k].text) &&
+            matches_receiver(t[k].text, cfg.serial_receivers) &&
+            is_identifier(tok(t, k + 2)) && tok(t, k + 3) == "(") {
+          const std::string call = t[k].text + (t[k + 1].text == "." ? "." : "->") + t[k + 2].text;
+          if (reported.insert("serial:" + call).second) {
+            finding("task lambda calls '" + call + "()'; store/journal calls must stay "
+                    "outside executor maps (their serial call order is a resume invariant)");
+          }
+          break;
+        }
+      }
+    }
+
+    if (locals.count(s)) { i = use.end > i ? use.end - 1 : i; continue; }
+    if (use.has_subscript) { i = use.end > i ? use.end - 1 : i; continue; }  // slot write
+
+    if (use.assigned && use.final_member.empty()) {
+      if (reported.insert("mut:" + s).second) {
+        finding("task lambda mutates captured '" + s + "'; task functions must be pure -- "
+                "write only to per-task slots (x[task] = ..)");
+      }
+    } else if (use.assigned && !use.final_member.empty()) {
+      if (reported.insert("mut:" + s + "." + use.final_member).second) {
+        finding("task lambda mutates captured '" + s + "." + use.final_member +
+                "'; task functions must be pure -- write only to per-task slots");
+      }
+    } else if (use.is_call && mutating_methods().count(use.final_member)) {
+      if (reported.insert("mut:" + s + "." + use.final_member).second) {
+        finding("task lambda calls mutating '" + s + "." + use.final_member +
+                "()' on captured state; task functions must be pure");
+      }
+    }
+    i = use.end > i ? use.end - 1 : i;
+  }
+
+  // Prefix increments (++x) are missed by the chain walk above (it
+  // anchors at the base identifier); catch them directly.
+  for (std::size_t i = def.body_begin; i + 2 < def.body_end && i + 2 < t.size(); ++i) {
+    if ((t[i].text == "+" && t[i + 1].text == "+") ||
+        (t[i].text == "-" && t[i + 1].text == "-")) {
+      const std::string& x = t[i + 2].text;
+      if (is_identifier(x) && !locals.count(x) && tok(t, i + 3) != "[" &&
+          !call_keyword_blocked(x)) {
+        if (reported.insert("mut:" + x).second) {
+          finding("task lambda mutates captured '" + x + "'; task functions must be pure -- "
+                  "write only to per-task slots (x[task] = ..)");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<InterprocFinding> run_interproc(
+    const std::map<std::string, std::vector<Token>>& tokens, const Config& cfg) {
+  IndexOptions opt;
+  if (!cfg.task_fn_types.empty()) opt.task_fn_types = cfg.task_fn_types;
+  if (!cfg.task_entry_calls.empty()) opt.task_entry_calls = cfg.task_entry_calls;
+  const SymbolIndex idx = build_index(tokens, opt);
+
+  // Unordered-container variable names per module (for the D3-style
+  // iteration sink), mirroring the file-local rule's accumulation.
+  const std::set<std::string> d3_scope(cfg.d3_modules.begin(), cfg.d3_modules.end());
+  std::map<std::string, std::set<std::string>> unordered_vars;
+  for (const auto& [path, toks] : tokens) {
+    const std::string mod = module_of(path);
+    collect_unordered_vars(toks, unordered_vars[mod.empty() ? path : mod]);
+  }
+
+  // Sinks per node, computed once.
+  std::map<NodeId, std::vector<Sink>> sinks;
+  for (const auto& [path, fi] : idx.files) {
+    const std::string mod = module_of(path);
+    const auto& t = tokens.at(path);
+    for (std::size_t d = 0; d < fi.defs.size(); ++d) {
+      auto s = classify_sinks(fi.defs[d], t, cfg, unordered_vars[mod.empty() ? path : mod],
+                              d3_scope.count(mod) > 0);
+      if (!s.empty()) sinks[{path, d}] = std::move(s);
+    }
+  }
+
+  std::vector<InterprocFinding> findings;
+
+  for (const auto& [path, fi] : idx.files) {
+    const auto& t = tokens.at(path);
+    for (std::size_t d = 0; d < fi.defs.size(); ++d) {
+      const FunctionDef& entry = fi.defs[d];
+      if (!entry.is_task_entry) continue;
+      // The executor framework's own wrapper lambdas implement the
+      // task-function contract; they are not user task code.
+      if (path_starts_with(entry.file, cfg.executor_home)) continue;
+
+      // --- C1: purity of the entry body itself.
+      check_task_lambda(entry, t, cfg, findings);
+
+      // --- R1: BFS over the name-resolved call graph.
+      const NodeId root{path, d};
+      std::map<NodeId, NodeId> parent;
+      std::set<NodeId> visited{root};
+      std::deque<NodeId> queue{root};
+      std::set<std::string> reported;
+      while (!queue.empty()) {
+        const NodeId cur = queue.front();
+        queue.pop_front();
+        const FunctionDef& def = idx.def(cur);
+        const auto sk = sinks.find(cur);
+        if (sk != sinks.end()) {
+          // Render the chain root -> ... -> cur -> sink.
+          std::vector<std::string> chain_hops;
+          std::vector<const FunctionDef*> chain_defs;
+          for (NodeId n = cur;; n = parent.at(n)) {
+            chain_defs.push_back(&idx.def(n));
+            if (n == root) break;
+          }
+          std::reverse(chain_defs.begin(), chain_defs.end());
+          for (const Sink& sink : sk->second) {
+            std::ostringstream text;
+            for (std::size_t h = 0; h < chain_defs.size(); ++h) {
+              const FunctionDef* fd = chain_defs[h];
+              if (h == 0) {
+                text << (fd->name == "<task-lambda>" ? "task-lambda" : fd->name);
+              } else {
+                text << " -> " << fd->qual << "()";
+              }
+            }
+            text << " -> " << sink.token;
+            const std::string key = text.str();
+            if (!reported.insert(key).second) continue;
+            InterprocFinding f;
+            f.file = entry.file;
+            f.line = entry.line;
+            f.rule = "R1";
+            f.message = "task function reaches " + sink.what + ": " + key +
+                        " (" + sink.token + " at " + def.file + ":" +
+                        std::to_string(sink.line) + ")";
+            for (const FunctionDef* fd : chain_defs) f.chain.push_back(hop(*fd));
+            f.chain.push_back(sink.token + "@" + def.file + ":" + std::to_string(sink.line));
+            findings.push_back(std::move(f));
+          }
+        }
+        for (const CallRef& call : def.calls) {
+          const auto targets = idx.by_name.find(call.callee);
+          if (targets == idx.by_name.end()) continue;
+          for (const auto& ref : targets->second) {
+            const NodeId nxt{ref.first, ref.second};
+            if (nxt == cur) continue;
+            if (visited.insert(nxt).second) {
+              parent[nxt] = cur;
+              queue.push_back(nxt);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const InterprocFinding& a, const InterprocFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+}  // namespace sf::lint

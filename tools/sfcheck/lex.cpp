@@ -1,0 +1,268 @@
+#include "lex.hpp"
+
+#include <cctype>
+
+namespace sf::lint {
+
+std::string trim_ws(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool path_starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+namespace {
+
+// Parse `sfcheck:allow(D1,D2): reason` out of one // comment.
+void parse_allow(const std::string& comment, int line, CleanFile& out) {
+  const std::string kMarker = "sfcheck:allow(";
+  const auto at = comment.find(kMarker);
+  if (at == std::string::npos) return;
+  const auto open = at + kMarker.size();
+  const auto close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  Suppression sup;
+  std::string rule;
+  for (std::size_t i = open; i <= close; ++i) {
+    if (i == close || comment[i] == ',') {
+      const std::string r = trim_ws(rule);
+      if (!r.empty()) sup.rules.insert(r);
+      rule.clear();
+    } else {
+      rule += comment[i];
+    }
+  }
+  std::size_t rest = close + 1;
+  if (rest < comment.size() && comment[rest] == ':') {
+    sup.reason = trim_ws(comment.substr(rest + 1));
+  }
+  if (sup.rules.empty()) return;
+  if (sup.reason.empty()) {
+    out.allows_missing_reason.push_back(line);
+    return;  // a reasonless allow suppresses nothing
+  }
+  out.allows[line] = std::move(sup);
+}
+
+}  // namespace
+
+CleanFile clean_source(const std::string& content) {
+  CleanFile out;
+  enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
+  State state = State::Code;
+  std::string raw_delim;      // raw-string terminator, e.g. )foo"
+  std::string line;           // cleaned current line
+  std::string raw_line;       // untouched current line
+  std::string comment;        // text of the current // comment
+  std::string literal;        // text of the current "..." literal
+  int lineno = 1;
+  bool line_starts_in_block = false;
+
+  auto flush_line = [&] {
+    if (state == State::LineComment) {
+      parse_allow(comment, lineno, out);
+      comment.clear();
+      state = State::Code;
+    }
+    // #include "..." never spans lines; harvest it from the raw text
+    // when the line is not swallowed by a block comment.
+    if (!line_starts_in_block) {
+      const std::string t = trim_ws(raw_line);
+      if (!t.empty() && t[0] == '#') {
+        const auto inc = t.find("include");
+        if (inc != std::string::npos) {
+          const auto q0 = t.find('"', inc);
+          if (q0 != std::string::npos) {
+            const auto q1 = t.find('"', q0 + 1);
+            if (q1 != std::string::npos) {
+              out.includes.emplace_back(lineno, t.substr(q0 + 1, q1 - q0 - 1));
+            }
+          }
+        }
+      }
+    }
+    out.lines.push_back(line);
+    line.clear();
+    raw_line.clear();
+    ++lineno;
+    line_starts_in_block = state == State::BlockComment;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char n = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    raw_line += c;
+    switch (state) {
+      case State::Code:
+        if (c == '/' && n == '/') {
+          state = State::LineComment;
+          line += "  ";
+          raw_line += n;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          state = State::BlockComment;
+          line += "  ";
+          raw_line += n;
+          ++i;
+        } else if (c == 'R' && n == '"' &&
+                   !(i > 0 && (std::isalnum(static_cast<unsigned char>(content[i - 1])) ||
+                               content[i - 1] == '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < content.size() && content[j] != '(') delim += content[j++];
+          raw_delim = ")" + delim + "\"";
+          state = State::RawStr;
+          line += "  ";
+          raw_line += n;
+          i = j;  // consume through the opening '('
+        } else if (c == '"') {
+          state = State::Str;
+          literal.clear();
+          line += ' ';
+        } else if (c == '\'') {
+          state = State::Chr;
+          line += ' ';
+        } else {
+          line += c;
+        }
+        break;
+      case State::LineComment:
+        comment += c;
+        line += ' ';
+        break;
+      case State::BlockComment:
+        line += ' ';
+        if (c == '*' && n == '/') {
+          state = State::Code;
+          line += ' ';
+          raw_line += n;
+          ++i;
+        }
+        break;
+      case State::Str:
+        line += ' ';
+        if (c == '\\') {
+          literal += c;
+          literal += n;
+          line += ' ';
+          raw_line += n;
+          ++i;
+        } else if (c == '"') {
+          out.strings.emplace_back(lineno, literal);
+          literal.clear();
+          state = State::Code;
+        } else {
+          literal += c;
+        }
+        break;
+      case State::Chr:
+        line += ' ';
+        if (c == '\\') {
+          line += ' ';
+          raw_line += n;
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        }
+        break;
+      case State::RawStr:
+        line += ' ';
+        if (c == raw_delim[0] && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            raw_line += content[i + k];
+            line += ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || !line.empty() || out.lines.empty()) flush_line();
+  return out;
+}
+
+std::vector<Token> tokenize(const CleanFile& cf) {
+  std::vector<Token> toks;
+  for (std::size_t li = 0; li < cf.lines.size(); ++li) {
+    const std::string& s = cf.lines[li];
+    const int line = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+      } else if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < s.size() && is_ident_char(s[j])) ++j;
+        toks.push_back({s.substr(i, j - i), line});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i + 1;
+        while (j < s.size() && (is_ident_char(s[j]) || s[j] == '.')) ++j;
+        toks.push_back({s.substr(i, j - i), line});
+        i = j;
+      } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        toks.push_back({"::", line});
+        i += 2;
+      } else if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+        toks.push_back({"->", line});
+        i += 2;
+      } else {
+        toks.push_back({std::string(1, c), line});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  static const std::string kEmpty;
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  if (tok(t, i) != "<") return i;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    else if (t[i].text == ">") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return i;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = tok(t, i);
+  if (open != "(" && open != "[" && open != "{") return i;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    else if (s == ")" || s == "]" || s == "}") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size();
+}
+
+}  // namespace sf::lint

@@ -1,0 +1,68 @@
+// sfcheck's lexing layer, shared by the token rules (sfcheck.cpp) and
+// the symbol indexer (index.cpp).
+//
+// The scanner is a lexer, not a compiler: comments, string literals and
+// char literals are stripped before any rule or the indexer sees the
+// text, so banned names inside strings or comments never fire. String
+// literal *contents* are still harvested per line (the D5 float-format
+// rule inspects printf-style conversion specs), and `// sfcheck:allow`
+// suppressions plus `#include "..."` targets are collected during the
+// same pass. That keeps sfcheck dependency free (no libclang) and fast
+// enough to run as a ctest on every build.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sf::lint {
+
+struct Suppression {
+  std::set<std::string> rules;
+  std::string reason;
+};
+
+struct CleanFile {
+  // Cleaned text, one entry per source line: comments, string literals
+  // and char literals replaced by spaces (line structure preserved).
+  std::vector<std::string> lines;
+  // line -> reasoned allow() found in a // comment on that line.
+  std::map<int, Suppression> allows;
+  // Lines carrying an allow() with an empty reason (SUP violations).
+  std::vector<int> allows_missing_reason;
+  // (line, target) of every #include "..." outside comments.
+  std::vector<std::pair<int, std::string>> includes;
+  // (line, literal text) of every ordinary "..." string literal.
+  std::vector<std::pair<int, std::string>> strings;
+};
+
+// One lexical token: an identifier, a number, "::", "->", or a single
+// punctuation character. Multi-char operators other than "::" and "->"
+// are NOT fused ("<<" arrives as two "<" tokens, "==" as two "=");
+// rules match accordingly.
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+std::string trim_ws(const std::string& s);
+bool is_ident_start(char c);
+bool is_ident_char(char c);
+bool path_starts_with(const std::string& s, const std::string& prefix);
+
+CleanFile clean_source(const std::string& content);
+std::vector<Token> tokenize(const CleanFile& cf);
+
+// Bounds-safe token text access ("" past the end).
+const std::string& tok(const std::vector<Token>& t, std::size_t i);
+
+// Skip a balanced <...> starting at t[i] == "<"; returns the index just
+// past the matching ">". Returns i unchanged if t[i] is not "<".
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i);
+
+// t[i] == open ("(", "[" or "{"): index just past the matching closer,
+// tracking all three bracket kinds. Returns t.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& t, std::size_t i);
+
+}  // namespace sf::lint

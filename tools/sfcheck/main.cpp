@@ -2,9 +2,15 @@
 //
 //   sfcheck --root <repo>            lint src/, tools/, examples/
 //   sfcheck --root <repo> --json     machine-readable report on stdout
+//   sfcheck --root <repo> --sarif    SARIF 2.1.0 report on stdout
+//   sfcheck --root <repo> --baseline tools/sfcheck/baseline.sfcheck
+//                                    fail only on findings NOT in the baseline
+//   sfcheck --root <repo> --write-baseline > tools/sfcheck/baseline.sfcheck
 //   sfcheck --root <repo> src/geom/vec3.hpp ...   lint specific files
 //
-// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+// Exit status: 0 clean (or all findings baselined), 1 violations found,
+// 2 usage or I/O error. With --sarif the report always carries every
+// finding; only the exit code honours the baseline.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -35,10 +41,14 @@ std::string to_rel(const fs::path& p, const fs::path& root) {
 }
 
 void usage(std::ostream& out) {
-  out << "usage: sfcheck [--root DIR] [--json] [paths...]\n"
-         "Lints src/, tools/ and examples/ for determinism (D1-D4) and\n"
-         "layering (L1) violations. tests/ and bench/ are unrestricted.\n"
-         "Suppress a finding inline: // sfcheck:allow(RULE): reason\n";
+  out << "usage: sfcheck [--root DIR] [--json|--sarif] [--baseline FILE]\n"
+         "               [--write-baseline] [paths...]\n"
+         "Lints src/, tools/ and examples/ for determinism (D1-D5), layering\n"
+         "(L1) and task purity (R1, C1) violations. tests/ and bench/ are\n"
+         "unrestricted. Suppress a finding inline:\n"
+         "  // sfcheck:allow(RULE): reason\n"
+         "--baseline FILE fails only on findings absent from FILE;\n"
+         "--write-baseline prints the current findings as a baseline image.\n";
 }
 
 }  // namespace
@@ -46,6 +56,9 @@ void usage(std::ostream& out) {
 int main(int argc, char** argv) {
   fs::path root = ".";
   bool json = false;
+  bool sarif = false;
+  bool write_baseline = false;
+  std::string baseline_path;
   std::vector<std::string> explicit_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +66,12 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
     } else if (arg == "-h" || arg == "--help") {
       usage(std::cout);
       return 0;
@@ -96,6 +115,40 @@ int main(int argc, char** argv) {
   }
 
   const auto result = sf::lint::run(files, sf::lint::Config::project_default());
-  std::cout << (json ? sf::lint::render_json(result) : sf::lint::render_text(result));
-  return result.diagnostics.empty() ? 0 : 1;
+
+  if (write_baseline) {
+    std::cout << sf::lint::render_baseline(result);
+    return 0;
+  }
+
+  // Baseline gate: the exit code (and the text report) reflect only
+  // findings absent from the baseline; machine reports stay complete.
+  std::vector<sf::lint::Diagnostic> gating = result.diagnostics;
+  std::size_t baselined = 0;
+  if (!baseline_path.empty()) {
+    try {
+      const auto keys = sf::lint::parse_baseline(slurp(baseline_path));
+      gating = sf::lint::baseline_new(result.diagnostics, keys);
+      baselined = result.diagnostics.size() - gating.size();
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (sarif) {
+    std::cout << sf::lint::render_sarif(result);
+  } else if (json) {
+    std::cout << sf::lint::render_json(result);
+  } else {
+    sf::lint::ScanResult shown;
+    shown.diagnostics = gating;
+    shown.suppressed = result.suppressed;
+    std::cout << sf::lint::render_text(shown);
+    if (baselined > 0) {
+      std::cout << "sfcheck: " << baselined << " known finding(s) covered by baseline "
+                << baseline_path << "\n";
+    }
+  }
+  return gating.empty() ? 0 : 1;
 }

@@ -1,304 +1,47 @@
 #include "sfcheck.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <set>
 #include <sstream>
+
+#include "callgraph.hpp"
+#include "lex.hpp"
+#include "vocab.hpp"
 
 namespace sf::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------
-// Lexing: strip comments and literals, harvest suppressions + includes.
-// ---------------------------------------------------------------------
-
-struct Suppression {
-  std::set<std::string> rules;
-  std::string reason;
-};
-
-struct CleanFile {
-  // Cleaned text, one entry per source line: comments, string literals
-  // and char literals replaced by spaces (line structure preserved).
-  std::vector<std::string> lines;
-  // line -> reasoned allow() found in a // comment on that line.
-  std::map<int, Suppression> allows;
-  // Lines carrying an allow() with an empty reason (SUP violations).
-  std::vector<int> allows_missing_reason;
-  // (line, target) of every #include "..." outside comments.
-  std::vector<std::pair<int, std::string>> includes;
-};
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-// Parse `sfcheck:allow(D1,D2): reason` out of one // comment.
-void parse_allow(const std::string& comment, int line, CleanFile& out) {
-  const std::string kMarker = "sfcheck:allow(";
-  const auto at = comment.find(kMarker);
-  if (at == std::string::npos) return;
-  const auto open = at + kMarker.size();
-  const auto close = comment.find(')', open);
-  if (close == std::string::npos) return;
-  Suppression sup;
-  std::string rule;
-  for (std::size_t i = open; i <= close; ++i) {
-    if (i == close || comment[i] == ',') {
-      const std::string r = trim(rule);
-      if (!r.empty()) sup.rules.insert(r);
-      rule.clear();
-    } else {
-      rule += comment[i];
-    }
-  }
-  std::size_t rest = close + 1;
-  if (rest < comment.size() && comment[rest] == ':') {
-    sup.reason = trim(comment.substr(rest + 1));
-  }
-  if (sup.rules.empty()) return;
-  if (sup.reason.empty()) {
-    out.allows_missing_reason.push_back(line);
-    return;  // a reasonless allow suppresses nothing
-  }
-  out.allows[line] = std::move(sup);
-}
-
-CleanFile clean_source(const std::string& content) {
-  CleanFile out;
-  enum class State { Code, LineComment, BlockComment, Str, Chr, RawStr };
-  State state = State::Code;
-  std::string raw_delim;      // raw-string terminator, e.g. )foo"
-  std::string line;           // cleaned current line
-  std::string raw_line;       // untouched current line
-  std::string comment;        // text of the current // comment
-  int lineno = 1;
-  bool line_starts_in_block = false;
-
-  auto flush_line = [&] {
-    if (state == State::LineComment) {
-      parse_allow(comment, lineno, out);
-      comment.clear();
-      state = State::Code;
-    }
-    // #include "..." never spans lines; harvest it from the raw text
-    // when the line is not swallowed by a block comment.
-    if (!line_starts_in_block) {
-      const std::string t = trim(raw_line);
-      if (!t.empty() && t[0] == '#') {
-        const auto inc = t.find("include");
-        if (inc != std::string::npos) {
-          const auto q0 = t.find('"', inc);
-          if (q0 != std::string::npos) {
-            const auto q1 = t.find('"', q0 + 1);
-            if (q1 != std::string::npos) {
-              out.includes.emplace_back(lineno, t.substr(q0 + 1, q1 - q0 - 1));
-            }
-          }
-        }
-      }
-    }
-    out.lines.push_back(line);
-    line.clear();
-    raw_line.clear();
-    ++lineno;
-    line_starts_in_block = state == State::BlockComment;
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char n = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      flush_line();
-      continue;
-    }
-    raw_line += c;
-    switch (state) {
-      case State::Code:
-        if (c == '/' && n == '/') {
-          state = State::LineComment;
-          line += "  ";
-          raw_line += n;
-          ++i;
-        } else if (c == '/' && n == '*') {
-          state = State::BlockComment;
-          line += "  ";
-          raw_line += n;
-          ++i;
-        } else if (c == 'R' && n == '"' &&
-                   !(i > 0 && (std::isalnum(static_cast<unsigned char>(content[i - 1])) ||
-                               content[i - 1] == '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t j = i + 2;
-          std::string delim;
-          while (j < content.size() && content[j] != '(') delim += content[j++];
-          raw_delim = ")" + delim + "\"";
-          state = State::RawStr;
-          line += "  ";
-          raw_line += n;
-          i = j;  // consume through the opening '('
-        } else if (c == '"') {
-          state = State::Str;
-          line += ' ';
-        } else if (c == '\'') {
-          state = State::Chr;
-          line += ' ';
-        } else {
-          line += c;
-        }
-        break;
-      case State::LineComment:
-        comment += c;
-        line += ' ';
-        break;
-      case State::BlockComment:
-        line += ' ';
-        if (c == '*' && n == '/') {
-          state = State::Code;
-          line += ' ';
-          raw_line += n;
-          ++i;
-        }
-        break;
-      case State::Str:
-        line += ' ';
-        if (c == '\\') {
-          line += ' ';
-          raw_line += n;
-          ++i;
-        } else if (c == '"') {
-          state = State::Code;
-        }
-        break;
-      case State::Chr:
-        line += ' ';
-        if (c == '\\') {
-          line += ' ';
-          raw_line += n;
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-        }
-        break;
-      case State::RawStr:
-        line += ' ';
-        if (c == raw_delim[0] && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
-            raw_line += content[i + k];
-            line += ' ';
-          }
-          i += raw_delim.size() - 1;
-          state = State::Code;
-        }
-        break;
-    }
-  }
-  if (!raw_line.empty() || !line.empty() || out.lines.empty()) flush_line();
-  return out;
-}
-
-// ---------------------------------------------------------------------
-// Tokens
-// ---------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::vector<Token> tokenize(const CleanFile& cf) {
-  std::vector<Token> toks;
-  for (std::size_t li = 0; li < cf.lines.size(); ++li) {
-    const std::string& s = cf.lines[li];
-    const int line = static_cast<int>(li) + 1;
-    std::size_t i = 0;
-    while (i < s.size()) {
-      const char c = s[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-      } else if (is_ident_start(c)) {
-        std::size_t j = i + 1;
-        while (j < s.size() && is_ident_char(s[j])) ++j;
-        toks.push_back({s.substr(i, j - i), line});
-        i = j;
-      } else if (std::isdigit(static_cast<unsigned char>(c))) {
-        std::size_t j = i + 1;
-        while (j < s.size() && (is_ident_char(s[j]) || s[j] == '.')) ++j;
-        toks.push_back({s.substr(i, j - i), line});
-        i = j;
-      } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-        toks.push_back({"::", line});
-        i += 2;
-      } else {
-        toks.push_back({std::string(1, c), line});
-        ++i;
-      }
-    }
-  }
-  return toks;
-}
-
-const std::string& tok(const std::vector<Token>& t, std::size_t i) {
-  static const std::string kEmpty;
-  return i < t.size() ? t[i].text : kEmpty;
-}
-
-// Skip a balanced <...> starting at t[i] == "<"; returns the index just
-// past the matching ">". Returns i unchanged if t[i] is not "<".
-std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
-  if (tok(t, i) != "<") return i;
-  int depth = 0;
-  for (; i < t.size(); ++i) {
-    if (t[i].text == "<") ++depth;
-    else if (t[i].text == ">") {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return i;
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-// ---------------------------------------------------------------------
-// Rules
+// Rules (file-local). The interprocedural rules R1/C1 live in
+// callgraph.cpp; the lexer in lex.cpp; shared token sets in vocab.cpp.
 // ---------------------------------------------------------------------
 
 struct Finding {
   std::string file;
-  int line;
+  int line = 0;
   std::string rule;
   std::string message;
+  std::vector<std::string> chain;
 };
 
 void rule_d1(const std::string& path, const std::vector<Token>& t, const Config& cfg,
              std::vector<Finding>& out) {
-  if (starts_with(path, cfg.rng_home)) return;
+  if (path_starts_with(path, cfg.rng_home)) return;
   for (std::size_t i = 0; i < t.size(); ++i) {
     const std::string& s = t[i].text;
     if ((s == "rand" || s == "srand") && tok(t, i + 1) == "(") {
       const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
       if (prev == "." || prev == "->") continue;  // member named rand
       out.push_back({path, t[i].line, "D1",
-                     "call to " + s + "(); use sf::Rng (util/rng.hpp) seeded streams"});
+                     "call to " + s + "(); use sf::Rng (util/rng.hpp) seeded streams",
+                     {}});
     } else if (s == "random_device") {
       out.push_back({path, t[i].line, "D1",
                      "std::random_device is nondeterministic; derive seeds with "
-                     "sf::Rng::split or sf::stable_hash64"});
+                     "sf::Rng::split or sf::stable_hash64",
+                     {}});
     } else if (s == "mt19937" || s == "mt19937_64") {
       // Unseeded forms: `mt19937 g;`, `mt19937()`, `mt19937{}`.
       const std::string& n1 = tok(t, i + 1);
@@ -313,119 +56,163 @@ void rule_d1(const std::string& path, const std::vector<Token>& t, const Config&
       if (unseeded) {
         out.push_back({path, t[i].line, "D1",
                        "unseeded std::" + s + "; all RNG must flow through sf::Rng "
-                       "(util/rng.hpp)"});
+                       "(util/rng.hpp)",
+                       {}});
       }
     }
   }
 }
 
-void rule_d2(const std::string& path, const std::vector<Token>& t, std::vector<Finding>& out) {
-  static const std::set<std::string> kClockTypes = {"system_clock", "steady_clock",
-                                                    "high_resolution_clock"};
-  static const std::set<std::string> kClockCalls = {
-      "time",      "clock",        "ctime",         "localtime", "gmtime",
-      "strftime",  "difftime",     "timespec_get",  "mktime",    "gettimeofday",
-      "clock_gettime"};
+void rule_d2(const std::string& path, const std::vector<Token>& t, const Config& cfg,
+             std::vector<Finding>& out) {
+  if (path_starts_with(path, cfg.wallclock_home)) return;  // the one sanctioned shim
   for (std::size_t i = 0; i < t.size(); ++i) {
     const std::string& s = t[i].text;
-    if (kClockTypes.count(s)) {
+    if (clock_type_tokens().count(s)) {
       out.push_back({path, t[i].line, "D2",
                      "wall-clock type std::chrono::" + s +
-                         "; deterministic code must use simulated time (sim/)"});
-    } else if (kClockCalls.count(s) && tok(t, i + 1) == "(") {
+                         "; deterministic code must use simulated time (sim/)",
+                     {}});
+    } else if (clock_call_tokens().count(s) && tok(t, i + 1) == "(") {
       const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
       if (prev == "." || prev == "->") continue;  // member named time()/clock()
       out.push_back({path, t[i].line, "D2",
                      "wall-clock call " + s + "(); deterministic code must use "
-                     "simulated time (sim/)"});
+                     "simulated time (sim/)",
+                     {}});
     }
   }
 }
 
-bool is_unordered_container(const std::string& s) {
-  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
-         s == "unordered_multiset";
-}
-
-// Pass A: every variable declared with an unordered container type,
-// keyed by module (so members declared in headers are seen from the
-// sibling .cpp).
-void collect_unordered_vars(const std::vector<Token>& t, std::set<std::string>& vars) {
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!is_unordered_container(t[i].text)) continue;
-    std::size_t j = skip_angles(t, i + 1);
-    if (j == i + 1) continue;  // no template args: using-decl or include
-    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
-    const std::string& name = tok(t, j);
-    if (!name.empty() && is_ident_start(name[0])) vars.insert(name);
-  }
-}
-
-// Pass B: iteration statements over a known-unordered variable. Both
-// `for (x : m)` and iterator-style `for (auto it = m.begin(); ...)` are
-// flagged; a bulk copy like `std::vector v(m.begin(), m.end())` outside
-// a for-header is NOT -- copying into an ordered container and sorting
-// is exactly the sanctioned fix.
 void rule_d3(const std::string& path, const std::vector<Token>& t,
              const std::set<std::string>& vars, std::vector<Finding>& out) {
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
-    // Walk the for-header; note the top-level ':' (range-for) or ';'
-    // (classic for) and the matching ')'.
-    int depth = 0;
-    std::size_t colon = 0;
-    bool classic = false;
-    std::size_t close = 0;
-    for (std::size_t j = i + 1; j < t.size(); ++j) {
-      const std::string& s = t[j].text;
-      if (s == "(" || s == "[" || s == "{") ++depth;
-      else if (s == ")" || s == "]" || s == "}") {
-        if (--depth == 0 && s == ")") {
-          close = j;
-          break;
-        }
-      } else if (s == ":" && depth == 1 && colon == 0 && !classic) {
-        colon = j;
-      } else if (s == ";" && depth == 1) {
-        classic = true;
-      }
-    }
-    if (close == 0) continue;
-    if (!classic && colon != 0) {
-      for (std::size_t j = colon + 1; j < close; ++j) {
-        if (vars.count(t[j].text)) {
-          out.push_back({path, t[i].line, "D3",
-                         "iteration over unordered container '" + t[j].text +
-                             "' feeds deterministic output; sort keys into an ordered "
-                             "container first"});
-          break;
-        }
-      }
-    } else if (classic) {
-      for (std::size_t j = i + 2; j < close; ++j) {
-        if (vars.count(t[j].text) && tok(t, j + 1) == "." &&
-            (tok(t, j + 2) == "begin" || tok(t, j + 2) == "cbegin") && tok(t, j + 3) == "(") {
-          out.push_back({path, t[i].line, "D3",
-                         "iterator walk of unordered container '" + t[j].text +
-                             "' feeds deterministic output; sort keys into an ordered "
-                             "container first"});
-          break;
-        }
-      }
-    }
+  std::vector<std::pair<int, std::string>> sites;
+  unordered_iteration_sites(t, 0, t.size(), vars, sites);
+  for (const auto& [line, var] : sites) {
+    out.push_back({path, line, "D3",
+                   "iteration over unordered container '" + var +
+                       "' feeds deterministic output; sort keys into an ordered "
+                       "container first",
+                   {}});
   }
 }
 
 void rule_d4(const std::string& path, const std::vector<Token>& t, const Config& cfg,
              std::vector<Finding>& out) {
   for (const auto& prefix : cfg.d4_allowed_prefixes) {
-    if (starts_with(path, prefix)) return;
+    if (path_starts_with(path, prefix)) return;
   }
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].text == "ofstream") {
       out.push_back({path, t[i].line, "D4",
                      "naked std::ofstream; use the torn-write-safe helpers in "
-                     "util/file_io.hpp (or the journal's guarded appender)"});
+                     "util/file_io.hpp (or the journal's guarded appender)",
+                     {}});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// D5: canonical float formatting in emit modules.
+// ---------------------------------------------------------------------
+
+bool is_printf_family(const std::string& s) {
+  return s == "printf" || s == "fprintf" || s == "sprintf" || s == "snprintf" ||
+         s == "vprintf" || s == "vfprintf" || s == "vsprintf" || s == "vsnprintf";
+}
+
+bool is_float_literal(const std::string& s) {
+  if (s.empty() || !(s[0] >= '0' && s[0] <= '9')) return false;
+  for (char c : s) {
+    if (c == '.' || c == 'e' || c == 'E') return true;
+  }
+  return false;
+}
+
+// Pass A of D5 (mirrors D3's): names declared with a float type, per
+// module, so header-declared members and double-returning functions are
+// known when the sibling .cpp streams them.
+void collect_float_names(const std::vector<Token>& t, std::set<std::string>& names) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "double" && t[i].text != "float") continue;
+    std::size_t j = i + 1;
+    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
+    const std::string& name = tok(t, j);
+    if (!name.empty() && is_ident_start(name[0])) names.insert(name);
+  }
+}
+
+// A precision-less float conversion spec (%f, %-8g, %e ...) inside a
+// format string: everything %.17g-style canonical formatting forbids.
+bool has_bare_float_spec(const std::string& fmt) {
+  for (std::size_t i = 0; i + 1 < fmt.size(); ++i) {
+    if (fmt[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (j < fmt.size() && fmt[j] == '%') {  // literal %%
+      i = j;
+      continue;
+    }
+    while (j < fmt.size() && (fmt[j] == '-' || fmt[j] == '+' || fmt[j] == ' ' ||
+                              fmt[j] == '#' || fmt[j] == '0'))
+      ++j;
+    while (j < fmt.size() && fmt[j] >= '0' && fmt[j] <= '9') ++j;
+    if (j < fmt.size() && fmt[j] == '.') continue;  // explicit precision: fine
+    if (j < fmt.size() && (fmt[j] == 'f' || fmt[j] == 'F' || fmt[j] == 'g' ||
+                           fmt[j] == 'G' || fmt[j] == 'e' || fmt[j] == 'E' ||
+                           fmt[j] == 'a' || fmt[j] == 'A'))
+      return true;
+  }
+  return false;
+}
+
+void rule_d5(const std::string& path, const std::vector<Token>& t, const CleanFile& cf,
+             const Config& cfg, const std::set<std::string>& float_names,
+             std::vector<Finding>& out) {
+  const bool fmt_exempt = path_starts_with(path, cfg.fmt_home);
+  std::set<int> format_call_lines;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    const std::string& prev = i > 0 ? t[i - 1].text : tok(t, t.size());
+    if (s == "to_string" && tok(t, i + 1) == "(" && prev != "." && prev != "->") {
+      out.push_back({path, t[i].line, "D5",
+                     "std::to_string is locale/width-unstable; use sf::format with an "
+                     "explicit conversion spec (the %.17g codec for doubles)",
+                     {}});
+    } else if (is_printf_family(s) && tok(t, i + 1) == "(" && prev != "." && prev != "->") {
+      format_call_lines.insert(t[i].line);
+      if (!fmt_exempt) {
+        out.push_back({path, t[i].line, "D5",
+                       "direct " + s + "(); emit modules must format through sf::format "
+                       "(util/string_util.hpp) so every byte has one producer",
+                       {}});
+      }
+    } else if (s == "format" && tok(t, i + 1) == "(") {
+      format_call_lines.insert(t[i].line);
+    } else if (s == "<" && tok(t, i + 1) == "<") {
+      // `<<` arrives as two '<' tokens. Flag streaming of a known float
+      // name or a float literal: bare operator<< renders with the
+      // stream's ambient precision, not a canonical spec.
+      const std::string& operand = tok(t, i + 2);
+      if (is_float_literal(operand) || float_names.count(operand)) {
+        out.push_back({path, t[i].line, "D5",
+                       "bare stream insertion of float '" + operand +
+                           "'; render through sf::format with an explicit spec "
+                           "(%.17g for replay-grade artifacts)",
+                       {}});
+      }
+      ++i;  // consume the second '<'
+    }
+  }
+  // Format strings on formatting-call lines must pin float precision.
+  if (!fmt_exempt) {
+    for (const auto& [line, literal] : cf.strings) {
+      if (!format_call_lines.count(line)) continue;
+      if (has_bare_float_spec(literal)) {
+        out.push_back({path, line, "D5",
+                       "precision-less float conversion in format string \"" + literal +
+                           "\"; pin an explicit precision (e.g. %.17g, %.3f)",
+                       {}});
+      }
     }
   }
 }
@@ -446,12 +233,25 @@ Config Config::project_default() {
       {"dataflow", 3}, {"analysis", 3}, {"sftrace", 3}, {"store", 3},
       {"core", 4},
   };
-  cfg.d3_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace", "store"};
+  // examples/ is a pseudo-module: the CLIs' stdout reports are replay
+  // artifacts too, so the order-determinism rule covers them.
+  cfg.d3_modules = {"core", "dataflow", "util",  "seqsearch",
+                    "obs",  "sftrace",  "store", "examples"};
   // The store's manifest appender shares the journal's torn-write
   // discipline (end-sealed lines + compact-on-open), so it carries the
   // same D4 exemption.
   cfg.d4_allowed_prefixes = {"src/util/file_io", "src/core/journal", "src/store/manifest"};
   cfg.rng_home = "src/util/rng";
+  cfg.wallclock_home = "src/util/wallclock";
+  // D5 scope is narrower than D3's: examples/ emit printf tables with
+  // explicit precision everywhere and stay exempt from the
+  // canonical-formatter requirement.
+  cfg.d5_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace", "store"};
+  cfg.fmt_home = "src/util/string_util";
+  cfg.task_fn_types = {"TaskFn"};
+  cfg.task_entry_calls = {"map"};
+  cfg.serial_receivers = {"store", "journal"};
+  cfg.executor_home = "src/dataflow/executor";
   return cfg;
 }
 
@@ -459,14 +259,15 @@ bool is_scanned_path(const std::string& relpath) {
   const bool cc = relpath.size() > 4 && (relpath.compare(relpath.size() - 4, 4, ".cpp") == 0 ||
                                          relpath.compare(relpath.size() - 4, 4, ".hpp") == 0);
   if (!cc) return false;
-  return starts_with(relpath, "src/") || starts_with(relpath, "tools/") ||
-         starts_with(relpath, "examples/");
+  return path_starts_with(relpath, "src/") || path_starts_with(relpath, "tools/") ||
+         path_starts_with(relpath, "examples/");
 }
 
 std::string module_of(const std::string& relpath) {
+  if (path_starts_with(relpath, "examples/")) return "examples";
   std::size_t base = std::string::npos;
-  if (starts_with(relpath, "src/")) base = 4;
-  else if (starts_with(relpath, "tools/")) base = 6;
+  if (path_starts_with(relpath, "src/")) base = 4;
+  else if (path_starts_with(relpath, "tools/")) base = 6;
   if (base == std::string::npos) return "";
   const auto slash = relpath.find('/', base);
   if (slash == std::string::npos) return "";
@@ -482,14 +283,18 @@ ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
     tokens[f.path] = tokenize(cleaned[f.path]);
   }
 
-  // D3 pass A: unordered variable names per module (headers included).
+  // D3/D5 pass A: unordered variable and float names per module
+  // (headers included).
   std::map<std::string, std::set<std::string>> unordered_vars;
+  std::map<std::string, std::set<std::string>> float_names;
   for (const auto& f : files) {
     const std::string mod = module_of(f.path);
     const std::string key = mod.empty() ? f.path : mod;
     collect_unordered_vars(tokens[f.path], unordered_vars[key]);
+    collect_float_names(tokens[f.path], float_names[key]);
   }
   const std::set<std::string> d3_scope(cfg.d3_modules.begin(), cfg.d3_modules.end());
+  const std::set<std::string> d5_scope(cfg.d5_modules.begin(), cfg.d5_modules.end());
 
   // Include graph for the cycle check (every observed edge, even ones
   // already reported as rank violations or suppressed inline).
@@ -498,10 +303,12 @@ ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
   for (const auto& f : files) {
     const auto& t = tokens[f.path];
     const std::string mod = module_of(f.path);
+    const std::string key = mod.empty() ? f.path : mod;
     rule_d1(f.path, t, cfg, findings);
-    rule_d2(f.path, t, findings);
-    if (d3_scope.count(mod)) rule_d3(f.path, t, unordered_vars[mod], findings);
+    rule_d2(f.path, t, cfg, findings);
+    if (d3_scope.count(mod)) rule_d3(f.path, t, unordered_vars[key], findings);
     rule_d4(f.path, t, cfg, findings);
+    if (d5_scope.count(mod)) rule_d5(f.path, t, cleaned[f.path], cfg, float_names[key], findings);
 
     // L1 rank check (src/ modules only; tools/examples are unlayered).
     const auto rank_it = cfg.layer_rank.find(mod);
@@ -517,7 +324,7 @@ ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
           std::ostringstream msg;
           msg << "layering: '" << mod << "' (rank " << rank_it->second << ") must not include '"
               << target << "' from higher layer '" << dst << "' (rank " << dst_it->second << ")";
-          findings.push_back({f.path, line, "L1", msg.str()});
+          findings.push_back({f.path, line, "L1", msg.str(), {}});
         }
       }
     }
@@ -544,7 +351,7 @@ ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
           }
           msg << nxt;
           if (reported.insert(msg.str()).second) {
-            out->push_back({"(include-graph)", 0, "L1", msg.str()});
+            out->push_back({"(include-graph)", 0, "L1", msg.str(), {}});
           }
         } else if (color[nxt] == 0) {
           self(self, nxt);
@@ -558,16 +365,23 @@ ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
     }
   }
 
+  // R1 + C1: interprocedural rules over the whole-repo call graph.
+  for (const InterprocFinding& f : run_interproc(tokens, cfg)) {
+    findings.push_back({f.file, f.line, f.rule, f.message, f.chain});
+  }
+
   // SUP: reasonless allow() comments.
   for (const auto& f : files) {
     for (int line : cleaned[f.path].allows_missing_reason) {
       findings.push_back({f.path, line, "SUP",
                           "sfcheck:allow() requires a reason: "
-                          "// sfcheck:allow(RULE): why this is safe"});
+                          "// sfcheck:allow(RULE): why this is safe",
+                          {}});
     }
   }
 
-  // Apply suppressions.
+  // Apply suppressions. R1/C1 anchor at the task lambda's entry line,
+  // so that is where their allow() comments live.
   ScanResult result;
   for (auto& fd : findings) {
     const auto cf = cleaned.find(fd.file);
@@ -580,14 +394,15 @@ ScanResult run(const std::vector<SourceFile>& files, const Config& cfg) {
         reason = sup->second.reason;
       }
     }
-    Diagnostic d{fd.file, fd.line, fd.rule, fd.message, reason};
+    Diagnostic d{fd.file, fd.line, fd.rule, fd.message, reason, fd.chain};
     (suppressed ? result.suppressed : result.diagnostics).push_back(std::move(d));
   }
 
   auto order = [](const Diagnostic& a, const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
   };
   std::sort(result.diagnostics.begin(), result.diagnostics.end(), order);
   std::sort(result.suppressed.begin(), result.suppressed.end(), order);
@@ -598,6 +413,10 @@ std::string render_text(const ScanResult& result) {
   std::ostringstream out;
   for (const auto& d : result.diagnostics) {
     out << d.file << ':' << d.line << ": error: [" << d.rule << "] " << d.message << '\n';
+    if (!d.chain.empty()) {
+      out << "    call chain:\n";
+      for (const auto& hop : d.chain) out << "      " << hop << '\n';
+    }
   }
   if (result.diagnostics.empty()) {
     out << "sfcheck: clean (" << result.suppressed.size() << " suppressed)\n";
@@ -639,6 +458,14 @@ void json_diags(std::ostringstream& out, const std::vector<Diagnostic>& ds, bool
     out << "{\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.line << ",\"rule\":\""
         << json_escape(d.rule) << "\",\"message\":\"" << json_escape(d.message) << '"';
     if (with_reason) out << ",\"reason\":\"" << json_escape(d.reason) << '"';
+    if (!d.chain.empty()) {
+      out << ",\"chain\":[";
+      for (std::size_t c = 0; c < d.chain.size(); ++c) {
+        if (c) out << ',';
+        out << '"' << json_escape(d.chain[c]) << '"';
+      }
+      out << ']';
+    }
     out << '}';
   }
   out << ']';

@@ -1,0 +1,80 @@
+#include "vocab.hpp"
+
+namespace sf::lint {
+
+const std::set<std::string>& clock_type_tokens() {
+  static const std::set<std::string> k = {"system_clock", "steady_clock",
+                                          "high_resolution_clock"};
+  return k;
+}
+
+const std::set<std::string>& clock_call_tokens() {
+  static const std::set<std::string> k = {
+      "time",     "clock",    "ctime",        "localtime", "gmtime",
+      "strftime", "difftime", "timespec_get", "mktime",    "gettimeofday",
+      "clock_gettime"};
+  return k;
+}
+
+bool is_unordered_container_name(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+         s == "unordered_multiset";
+}
+
+void collect_unordered_vars(const std::vector<Token>& t, std::set<std::string>& vars) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_unordered_container_name(t[i].text)) continue;
+    std::size_t j = skip_angles(t, i + 1);
+    if (j == i + 1) continue;  // no template args: using-decl or include
+    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
+    const std::string& name = tok(t, j);
+    if (!name.empty() && is_ident_start(name[0])) vars.insert(name);
+  }
+}
+
+void unordered_iteration_sites(const std::vector<Token>& t, std::size_t begin, std::size_t end,
+                               const std::set<std::string>& vars,
+                               std::vector<std::pair<int, std::string>>& out) {
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
+    // Walk the for-header; note the top-level ':' (range-for) or ';'
+    // (classic for) and the matching ')'.
+    int depth = 0;
+    std::size_t colon = 0;
+    bool classic = false;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") {
+        if (--depth == 0 && s == ")") {
+          close = j;
+          break;
+        }
+      } else if (s == ":" && depth == 1 && colon == 0 && !classic) {
+        colon = j;
+      } else if (s == ";" && depth == 1) {
+        classic = true;
+      }
+    }
+    if (close == 0) continue;
+    if (!classic && colon != 0) {
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (vars.count(t[j].text)) {
+          out.emplace_back(t[i].line, t[j].text);
+          break;
+        }
+      }
+    } else if (classic) {
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (vars.count(t[j].text) && tok(t, j + 1) == "." &&
+            (tok(t, j + 2) == "begin" || tok(t, j + 2) == "cbegin") && tok(t, j + 3) == "(") {
+          out.emplace_back(t[i].line, t[j].text);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sf::lint

@@ -1,0 +1,37 @@
+// Shared rule vocabulary: the token sets and small detectors used both
+// by the file-local rules (sfcheck.cpp) and by the R1 sink classifier
+// (callgraph.cpp). One definition, so the local and interprocedural
+// views of "what is a wall-clock read" can never drift apart.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lex.hpp"
+
+namespace sf::lint {
+
+// std::chrono clock *types* banned by D2 (system_clock, ...).
+const std::set<std::string>& clock_type_tokens();
+// C-library wall-clock *calls* banned by D2 (time, clock_gettime, ...).
+const std::set<std::string>& clock_call_tokens();
+
+bool is_unordered_container_name(const std::string& s);
+
+// Pass A of D3: every variable declared with an unordered container
+// type (members declared in headers are seen from the sibling .cpp via
+// per-module accumulation).
+void collect_unordered_vars(const std::vector<Token>& t, std::set<std::string>& vars);
+
+// Pass B of D3: iteration statements over a known-unordered variable in
+// the token span [begin, end). Both `for (x : m)` and iterator-style
+// `for (auto it = m.begin(); ...)` are reported; a bulk copy like
+// `std::vector v(m.begin(), m.end())` outside a for-header is NOT --
+// copying into an ordered container and sorting is the sanctioned fix.
+// Appends (line, variable) pairs.
+void unordered_iteration_sites(const std::vector<Token>& t, std::size_t begin, std::size_t end,
+                               const std::set<std::string>& vars,
+                               std::vector<std::pair<int, std::string>>& out);
+
+}  // namespace sf::lint
