@@ -288,6 +288,13 @@ ServiceReport CampaignService::run(const std::vector<ProteinRecord>& records,
   double now = 0.0;
   double feat_free = 0.0, inf_free = 0.0, relax_free = 0.0;
 
+  // Each wave's stage maps run on a fresh executor from the installed
+  // factory (default: the per-stage SimulatedExecutor).
+  const auto wave_executor = [&](StageKind stage) -> std::unique_ptr<Executor> {
+    if (factory_) return factory_(cfg, stage);
+    return std::make_unique<SimulatedExecutor>(make_stage_executor(cfg, stage));
+  };
+
   // Run one wave over `admitted` at service time `now`; seals the three
   // stages when `final_wave` (no arrivals left, queue drained), which in
   // the degenerate case reproduces the batch journal's byte order:
@@ -305,9 +312,9 @@ ServiceReport CampaignService::run(const std::vector<ProteinRecord>& records,
     for (const auto& e : admitted) subset.push_back(e.record);
     std::sort(subset.begin(), subset.end());
 
-    SimulatedExecutor feat_exec = make_stage_executor(cfg, StageKind::kFeatures);
+    const std::unique_ptr<Executor> feat_exec = wave_executor(StageKind::kFeatures);
     const StageWaveOutcome fw = FeatureStage().run_subset(
-        {*universe_, cfg, records, feat_exec, journal, sink, store, wave_tag}, subset, features);
+        {*universe_, cfg, records, *feat_exec, journal, sink, store, wave_tag}, subset, features);
     if (fw.mapped) add_wave(feat_agg, fw.report);
     if (final_wave && journal && !journal->stage_complete(StageKind::kFeatures)) {
       journal->record_stage_complete(StageKind::kFeatures, feat_agg.report);
@@ -316,9 +323,9 @@ ServiceReport CampaignService::run(const std::vector<ProteinRecord>& records,
     feat_free = feat_end;
 
     const std::size_t kept_before = inf.kept_for_relax.size();
-    SimulatedExecutor inf_exec = make_stage_executor(cfg, StageKind::kInference);
+    const std::unique_ptr<Executor> inf_exec = wave_executor(StageKind::kInference);
     const StageWaveOutcome iw = InferenceStage().run_subset(
-        {*universe_, cfg, records, inf_exec, journal, sink, store, wave_tag}, features, subset,
+        {*universe_, cfg, records, *inf_exec, journal, sink, store, wave_tag}, features, subset,
         inf_carry, inf);
     if (iw.mapped) add_wave(inf_agg, iw.report);
     if (final_wave && journal && !journal->stage_complete(StageKind::kInference)) {
@@ -331,9 +338,9 @@ ServiceReport CampaignService::run(const std::vector<ProteinRecord>& records,
     const std::vector<KeptModel> wave_kept(
         inf.kept_for_relax.begin() + static_cast<std::ptrdiff_t>(kept_before),
         inf.kept_for_relax.end());
-    SimulatedExecutor relax_exec = make_stage_executor(cfg, StageKind::kRelaxation);
+    const std::unique_ptr<Executor> relax_exec = wave_executor(StageKind::kRelaxation);
     const StageWaveOutcome rw = RelaxStage().run_subset(
-        {*universe_, cfg, records, relax_exec, journal, sink, store, wave_tag}, wave_kept, subset,
+        {*universe_, cfg, records, *relax_exec, journal, sink, store, wave_tag}, wave_kept, subset,
         relax_carry, inf.targets);
     if (rw.mapped) add_wave(relax_agg, rw.report);
     if (final_wave && journal && !journal->stage_complete(StageKind::kRelaxation)) {

@@ -40,6 +40,8 @@
 // pre-streaming pipeline (locked by test_campaign_service.cpp).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,16 @@
 #include "sim/arrivals.hpp"
 
 namespace sf {
+
+// Builds the executor one wave's stage map runs on. The default factory
+// is make_stage_executor() (the per-stage SimulatedExecutor); installing
+// a custom factory swaps the dataflow backend -- e.g. the distributed
+// executor (dist/executor.hpp) -- without touching the stage drivers.
+// Factories must preserve the MapResult contract: campaign stdout,
+// reports, journal bytes, and canonical trace sections are fixed by the
+// backend-independent map() semantics.
+using StageExecutorFactory =
+    std::function<std::unique_ptr<Executor>(const PipelineConfig&, StageKind)>;
 
 // Wave-membership policy of the admission queue.
 enum class OrderingPolicy {
@@ -110,6 +122,10 @@ class CampaignService {
   const PipelineConfig& config() const { return config_; }
   const ServiceConfig& service_config() const { return service_; }
 
+  // Swap the dataflow backend every wave's stage maps run on (empty =
+  // the default per-stage SimulatedExecutor). Set before run().
+  void set_executor_factory(StageExecutorFactory factory) { factory_ = std::move(factory); }
+
   // Run the campaign over `arrivals` (each referencing a record index
   // into `records`). Journal, trace sink, and artifact store compose
   // exactly as in Pipeline::run(); repeated requests for an
@@ -124,6 +140,7 @@ class CampaignService {
   const FoldUniverse* universe_;
   PipelineConfig config_;
   ServiceConfig service_;
+  StageExecutorFactory factory_;
 };
 
 // True when `arrivals` is the degenerate batch stream over `num_records`

@@ -7,6 +7,7 @@
 
 #include "core/journal.hpp"
 #include "core/report.hpp"
+#include "dist/executor.hpp"
 #include "fold/complex.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
@@ -76,6 +77,19 @@ std::vector<std::pair<std::size_t, std::size_t>> PairCampaign::enumerate_pairs(
     }
   }
   return out;
+}
+
+std::vector<std::size_t> PairCampaign::tiled_order(
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs, std::size_t tile) {
+  std::vector<std::size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (tile == 0) return order;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const auto bx = std::make_pair(pairs[x].first / tile, pairs[x].second / tile);
+    const auto by = std::make_pair(pairs[y].first / tile, pairs[y].second / tile);
+    return bx < by;
+  });
+  return order;
 }
 
 PairCampaignReport PairCampaign::run(const std::vector<ProteinRecord>& records,
@@ -183,8 +197,21 @@ PairCampaignReport PairCampaign::run(const std::vector<ProteinRecord>& records,
 
       SimulatedExecutor sim = make_stage_executor(cfg, StageKind::kFeatures);
       Executor& executor = feature_executor ? *feature_executor : sim;
+      dist::DistributedExecutor* dx = dist::as_distributed(executor);
+      if (dx) {
+        dx->cluster()->begin_window("pair-features");
+        dx->set_locality([&](const TaskSpec& t) {
+          const std::size_t i = t.payload;
+          dist::TaskLocality loc;
+          loc.produces.push_back({stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
+                                  static_cast<double>(features[i].feature_bytes()),
+                                  feature_seconds(i)});
+          return loc;
+        });
+      }
       if (tracing) sink->begin_stage(trace_info);
       MapResult run = executor.map(tasks, fn, retry, &injector, sink);
+      if (dx) dx->clear_locality();
       if (feature_executor && !feature_executor->modeled_time()) {
         // A wall-clock backend really computed the features above (on
         // its own thread count); the report still prices the canonical
@@ -231,8 +258,14 @@ PairCampaignReport PairCampaign::run(const std::vector<ProteinRecord>& records,
     store->begin_stage("pair-inference", stage_store_pricer(cfg, StageKind::kInference));
   }
 
+  // Visit order is the only thing tiling changes: every outcome lands in
+  // out.pairs[k] at its canonical index, and the aggregate pass below
+  // runs in canonical order, so the report is byte-identical for any
+  // tile (only the store traffic above differs).
+  const std::vector<std::size_t> visit = tiled_order(pairs, pair_config_.tile);
+
   out.pairs.resize(p);
-  for (std::size_t k = 0; k < p; ++k) {
+  for (const std::size_t k : visit) {
     const std::size_t a = pairs[k].first;
     const std::size_t b = pairs[k].second;
     PairOutcome& po = out.pairs[k];
@@ -290,17 +323,22 @@ PairCampaignReport PairCampaign::run(const std::vector<ProteinRecord>& records,
     po.oom = row.oom;
     po.truly_interacting = row.interacting;
     po.called_positive = !row.oom && row.interface_score >= pair_config_.iscore_cutoff;
+  }
 
-    if (row.oom) {
+  // Aggregates accumulate in canonical order regardless of visit order
+  // (floating-point sums are order-sensitive; the report must not be).
+  for (std::size_t k = 0; k < p; ++k) {
+    const PairOutcome& po = out.pairs[k];
+    if (po.oom) {
       ++out.oom_pairs;
       continue;
     }
     ++out.screened;
-    if (row.interacting) out.binder_iscore.add(row.interface_score);
-    else out.nonbinder_iscore.add(row.interface_score);
+    if (po.truly_interacting) out.binder_iscore.add(po.interface_score);
+    else out.nonbinder_iscore.add(po.interface_score);
     if (po.called_positive) {
       ++out.positives;
-      if (row.interacting) ++out.true_positives;
+      if (po.truly_interacting) ++out.true_positives;
       else ++out.false_positives;
     }
   }
@@ -366,8 +404,37 @@ PairCampaignReport PairCampaign::run(const std::vector<ProteinRecord>& records,
 
     SimulatedExecutor sim = make_stage_executor(cfg, StageKind::kInference);
     Executor& executor = pair_executor ? *pair_executor : sim;
+    // Distributed locality: a pair task needs BOTH chains' feature
+    // artifacts -- the router sends it to the node holding the larger
+    // resident share, and the missing chain migrates over the wire
+    // instead of recomputing. This is the pair screen's version of the
+    // paper's data-gravity economics.
+    dist::DistributedExecutor* dx = dist::as_distributed(executor);
+    if (dx) {
+      dx->cluster()->begin_window("pair-inference");
+      dx->set_locality([&](const TaskSpec& t) {
+        const std::size_t k2 = t.payload;
+        const PairOutcome& po = out.pairs[k2];
+        dist::TaskLocality loc;
+        for (const std::size_t i : {po.a, po.b}) {
+          loc.needs.push_back({stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
+                               static_cast<double>(features[i].feature_bytes()),
+                               cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
+                                                             andes().cpu_node_speed)});
+        }
+        const int combined = records[po.a].length() + records[po.b].length();
+        loc.produces.push_back(
+            {store::pair_artifact_key(store::record_fingerprint(records[po.a]),
+                                      store::record_fingerprint(records[po.b]), "pair", config_fp),
+             modeled_structure_bytes(combined),
+             cfg.inference_cost.task_seconds(combined, po.oom ? 1 : po.recycles + 1,
+                                             cfg.preset.ensembles)});
+        return loc;
+      });
+    }
     if (tracing) sink->begin_stage(trace_info);
     MapResult run = executor.map(tasks, fn, retry, &injector, sink);
+    if (dx) dx->clear_locality();
     if (pair_executor && !pair_executor->modeled_time()) {
       // Same canonical-pricing replay as the feature stage: the pair fn
       // is a pure pricing function, so re-mapping it on the simulated
@@ -399,6 +466,10 @@ std::uint64_t pair_campaign_fingerprint(const PipelineConfig& cfg,
   h = mix64(h, pairs.interactome_seed);
   h = mix64(h, hash_double(pairs.iscore_cutoff));
   h = mix64(h, static_cast<std::uint64_t>(pairs.max_pairs));
+  // Tiling changes the journal's row order (rows land in visit order),
+  // so tiled journals carry their own identity; tile == 0 keeps every
+  // pre-tiling fingerprint byte-for-byte.
+  if (pairs.tile != 0) h = mix64(h, mix64(stable_hash64("tile"), pairs.tile));
   return h;
 }
 

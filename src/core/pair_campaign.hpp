@@ -43,6 +43,14 @@ struct PairCampaignConfig {
   // Cap on the number of pairs screened, in canonical (i-major, i < j)
   // order; 0 = the full K*(K-1)/2 screen.
   std::size_t max_pairs = 0;
+  // Blocked (tiled) visit order for the science phase: chains group into
+  // blocks of `tile` and pairs are visited block-pair by block-pair, so
+  // a working set of ~2*tile chains' features stays hot in the store.
+  // 0 = canonical i-major order. The report is byte-identical either
+  // way -- pair identities, scores, and aggregates are order-independent
+  // by construction -- only the store's hit/miss economics move (the
+  // comparison bench/bench_af2complex runs).
+  std::size_t tile = 0;
 };
 
 // One screened pair in canonical order.
@@ -90,6 +98,12 @@ class PairCampaign {
   // max_pairs when nonzero. Pair index k is the position in this list.
   static std::vector<std::pair<std::size_t, std::size_t>> enumerate_pairs(std::size_t n,
                                                                           std::size_t max_pairs);
+
+  // Science-phase visit order over `pairs` for block size `tile`: a
+  // stable sort by (a/tile, b/tile), so pairs inside one block pair keep
+  // canonical order. tile == 0 returns the identity permutation.
+  static std::vector<std::size_t> tiled_order(
+      const std::vector<std::pair<std::size_t, std::size_t>>& pairs, std::size_t tile);
 
   // Run the two-stage screen. Journal/sink/store semantics mirror
   // Pipeline::run (see header comment). The executor overrides exist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dist/executor.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
 #include "util/string_util.hpp"
@@ -43,6 +44,35 @@ SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage
     }
   }
   return SimulatedExecutor::from_pools({}, {"empty", 1, 1, 1.0});
+}
+
+std::unique_ptr<Executor> make_stage_executor_dist(dist::DistCluster& cluster,
+                                                   const PipelineConfig& cfg, StageKind stage) {
+  using dist::DistributedExecutor;
+  switch (stage) {
+    case StageKind::kFeatures:
+      return std::make_unique<DistributedExecutor>(DistributedExecutor::from_pools(
+          &cluster, cfg.dataflow, andes_cpu_pool(stage_nodes(cfg, StageKind::kFeatures))));
+    case StageKind::kInference: {
+      const WorkerPool primary = summit_gpu_pool(cfg.summit_nodes);
+      if (!cfg.use_highmem_for_oom) {
+        return std::make_unique<DistributedExecutor>(
+            DistributedExecutor::from_pools(&cluster, cfg.dataflow, primary));
+      }
+      WorkerPool alt = summit_highmem_pool(cfg.highmem_nodes);
+      if (alt.workers() == 0) alt = {"summit-highmem", 1, 1, 1.0};
+      return std::make_unique<DistributedExecutor>(
+          DistributedExecutor::from_pools(&cluster, cfg.dataflow, primary, alt));
+    }
+    case StageKind::kRelaxation: {
+      WorkerPool pool = summit_gpu_pool(cfg.relax_nodes);
+      if (pool.workers() == 0) pool = {"summit-gpu", 1, 1, 1.0};
+      return std::make_unique<DistributedExecutor>(
+          DistributedExecutor::from_pools(&cluster, cfg.dataflow, pool));
+    }
+  }
+  return std::make_unique<DistributedExecutor>(
+      DistributedExecutor::from_pools(&cluster, {}, {"empty", 1, 1, 1.0}));
 }
 
 obs::StageTraceInfo stage_trace_info(const PipelineConfig& cfg, StageKind stage) {

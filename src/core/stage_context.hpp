@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,10 @@ class ArtifactStore;    // store/artifact_store.hpp
 struct ArtifactKey;
 struct StagingPricer;
 }  // namespace store
+
+namespace dist {
+class DistCluster;      // dist/executor.hpp
+}  // namespace dist
 
 struct PipelineConfig {
   PresetConfig preset = preset_genome();
@@ -180,6 +185,13 @@ int stage_nodes(const PipelineConfig& cfg, StageKind stage);
 // the inference executor carries the high-memory alternate pool used by
 // the OOM RetryPolicy when `use_highmem_for_oom` is set.
 SimulatedExecutor make_stage_executor(const PipelineConfig& cfg, StageKind stage);
+
+// The distributed counterpart: same pool shapes as make_stage_executor()
+// (so MapResult -- and hence every report, journal, and canonical trace
+// byte -- is identical), with the primary pool's workers sliced across
+// `cluster`'s nodes and artifact traffic flowing through its replicas.
+std::unique_ptr<Executor> make_stage_executor_dist(dist::DistCluster& cluster,
+                                                   const PipelineConfig& cfg, StageKind stage);
 
 // The canonical pool shape of `stage` for the trace recorder -- derived
 // from the same pools make_stage_executor() builds from, so a traced

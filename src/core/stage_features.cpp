@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "core/journal.hpp"
+#include "dist/executor.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
 #include "store/codec.hpp"
@@ -115,8 +116,26 @@ StageWaveOutcome FeatureStage::run_subset(const StageContext& ctx,
     retry.backoff_base_s = 5.0;
   }
 
+  // On the distributed backend, each feature task publishes its record's
+  // feature artifact into the producing node's replica (no inputs to
+  // fetch); sizes are data-dependent, so the provider runs after fn.
+  dist::DistributedExecutor* dx = dist::as_distributed(ctx.executor);
+  if (dx) {
+    dx->cluster()->begin_window(wave_trace_info(ctx, StageKind::kFeatures).stage);
+    dx->set_locality([&, slowdown, full](const TaskSpec& t) {
+      const std::size_t i = t.payload;
+      dist::TaskLocality loc;
+      loc.produces.push_back({stage_artifact_key(cfg, StageKind::kFeatures, records[i]),
+                              static_cast<double>(features[i].feature_bytes()),
+                              cfg.feature_cost.task_seconds(records[i].length(), full, slowdown,
+                                                            andes().cpu_node_speed)});
+      return loc;
+    });
+  }
+
   if (tracing) ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kFeatures));
   const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (dx) dx->clear_locality();
   if (caching) {
     for (const std::size_t i : subset) {
       if (hit[i]) continue;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/journal.hpp"
+#include "dist/executor.hpp"
 #include "fold/memory_model.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
@@ -375,8 +376,34 @@ StageWaveOutcome InferenceStage::run_subset(const StageContext& ctx,
     retry.backoff_base_s = 30.0;
   }
 
+  // Distributed locality: all five model tasks of a record need that
+  // record's feature artifact (so they co-locate on its holder), and
+  // each publishes the record's structure artifact that the relaxation
+  // stage will in turn need.
+  dist::DistributedExecutor* dx = dist::as_distributed(ctx.executor);
+  if (dx) {
+    dx->cluster()->begin_window(wave_trace_info(ctx, StageKind::kInference).stage);
+    const double slowdown = cfg.filesystem.io_slowdown(cfg.jobs_per_replica);
+    const bool full = cfg.library == LibraryKind::kFull;
+    dx->set_locality([&, slowdown, full](const TaskSpec& t) {
+      const PackedTask p = unpack_task(t.payload);
+      const ProteinRecord& rec = records[p.record];
+      dist::TaskLocality loc;
+      loc.needs.push_back({stage_artifact_key(cfg, StageKind::kFeatures, rec),
+                           static_cast<double>(features[p.record].feature_bytes()),
+                           cfg.feature_cost.task_seconds(rec.length(), full, slowdown,
+                                                         andes().cpu_node_speed)});
+      loc.produces.push_back(
+          {stage_artifact_key(cfg, StageKind::kInference, rec),
+           modeled_structure_bytes(rec.length()),
+           cfg.inference_cost.task_seconds(rec.length(), 4, cfg.preset.ensembles)});
+      return loc;
+    });
+  }
+
   if (tracing) ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kInference));
   MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (dx) dx->clear_locality();
   if (tracing && caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
   wave.mapped = true;
   wave.report = stage_report_from("inference", run, stage_nodes(cfg, StageKind::kInference),

@@ -5,6 +5,7 @@
 
 #include "bio/amino_acid.hpp"
 #include "core/journal.hpp"
+#include "dist/executor.hpp"
 #include "obs/trace.hpp"
 #include "store/artifact_store.hpp"
 #include "store/codec.hpp"
@@ -180,8 +181,33 @@ StageWaveOutcome RelaxStage::run_subset(const StageContext& ctx,
     retry.backoff_base_s = 10.0;
   }
 
+  // Distributed locality: a relax task follows its record's structure
+  // artifact (published by the inference stage) and publishes the
+  // relaxed structure in turn.
+  dist::DistributedExecutor* dx = dist::as_distributed(ctx.executor);
+  if (dx) {
+    dx->cluster()->begin_window(wave_trace_info(ctx, StageKind::kRelaxation).stage);
+    dx->set_locality([&](const TaskSpec& t) {
+      const std::size_t i = t.payload;
+      const ProteinRecord& rec = records[i];
+      dist::TaskLocality loc;
+      loc.needs.push_back(
+          {stage_artifact_key(cfg, StageKind::kInference, rec),
+           modeled_structure_bytes(rec.length()),
+           cfg.inference_cost.task_seconds(rec.length(), 4, cfg.preset.ensembles)});
+      loc.produces.push_back(
+          {stage_artifact_key(cfg, StageKind::kRelaxation, rec),
+           modeled_structure_bytes(rec.length()),
+           cfg.relax_cost.task_seconds(RelaxPlatform::kSummitGpu,
+                                       static_cast<std::size_t>(heavy_atoms[i]),
+                                       static_cast<std::size_t>(task_evals[i]), 1)});
+      return loc;
+    });
+  }
+
   if (tracing) ctx.sink->begin_stage(wave_trace_info(ctx, StageKind::kRelaxation));
   const MapResult run = ctx.executor.map(tasks, fn, retry, &injector, ctx.sink);
+  if (dx) dx->clear_locality();
   if (tracing && caching) ctx.sink->record_store(store_stats_for_trace(*ctx.store));
   wave.mapped = true;
   wave.report = stage_report_from("relaxation", run, stage_nodes(cfg, StageKind::kRelaxation),

@@ -1,0 +1,308 @@
+#include "dist/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace sf::dist {
+namespace {
+
+// Unit-interval hash: the crash plan's two draws per (seed, round,
+// node) -- whether a node drain-stops, and how far through its queue.
+double unit_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return static_cast<double>(mix64(a, mix64(b, c)) >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kCrashStream = 0xD157C4A5ULL;
+
+}  // namespace
+
+DistCluster::DistCluster(const DistConfig& cfg) : cfg_(cfg), net_(cfg.network) {
+  coordinator_.reset(cfg_.nodes);
+  nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    auto node = std::make_unique<NodeRuntime>(i);
+    node->configure_replica(cfg_.replica_capacity_bytes, cfg_.eviction);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void DistCluster::begin_window(const std::string& label) {
+  windows_.emplace_back(label, WindowStats{});
+}
+
+WindowStats& DistCluster::win() {
+  if (windows_.empty()) begin_window("campaign");
+  return windows_.back().second;
+}
+
+const WindowStats& DistCluster::window_stats() const {
+  static const WindowStats kEmpty;
+  return windows_.empty() ? kEmpty : windows_.back().second;
+}
+
+WindowStats DistCluster::totals() const {
+  WindowStats total;
+  for (const auto& [label, w] : windows_) total.merge(w);
+  return total;
+}
+
+std::vector<NodeStats> DistCluster::node_stats() const {
+  std::vector<NodeStats> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->stats());
+  return out;
+}
+
+void DistCluster::note_alt_round(std::size_t tasks) {
+  win().alt_tasks += static_cast<int>(tasks);
+}
+
+void DistCluster::run_round(const std::vector<TaskSpec>& batch,
+                            const std::vector<double>& duration_s, const std::vector<char>& ok,
+                            const std::vector<TaskLocality>& locality,
+                            const SimulatedDataflowParams& params) {
+  WindowStats& w = win();
+  if (batch.empty()) return;
+  const std::uint64_t round = rounds_run_++;
+
+  // Slice the stage pool over the allocation: node i serves
+  // floor(W/N) workers plus one of the W mod N remainders.
+  const int total_workers = params.workers;
+  std::vector<int> widths(static_cast<std::size_t>(cfg_.nodes), 0);
+  std::vector<int> eligible;
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    widths[static_cast<std::size_t>(i)] =
+        total_workers / cfg_.nodes + (i < total_workers % cfg_.nodes ? 1 : 0);
+    if (widths[static_cast<std::size_t>(i)] > 0) eligible.push_back(i);
+  }
+  if (eligible.empty()) return;  // no pool, nothing to place
+  const double speed = params.worker_speed.empty() ? 1.0 : params.worker_speed.front();
+
+  // Static placement, then the crash plan against the placement counts.
+  std::vector<double> queued_cost(static_cast<std::size_t>(cfg_.nodes), 0.0);
+  const std::vector<int> assignment =
+      coordinator_.route(batch, duration_s, locality, eligible, cfg_.routing, cfg_.seed, round,
+                         cfg_.spill_factor, queued_cost);
+  std::vector<std::uint64_t> assigned(static_cast<std::size_t>(cfg_.nodes), 0);
+  for (const int node : assignment) ++assigned[static_cast<std::size_t>(node)];
+
+  std::vector<char> crash(static_cast<std::size_t>(cfg_.nodes), 0);
+  std::vector<std::uint64_t> crash_after(static_cast<std::size_t>(cfg_.nodes), 0);
+  if (cfg_.node_crash_rate > 0.0) {
+    std::size_t crashing = 0;
+    for (const int i : eligible) {
+      const auto n = static_cast<std::uint64_t>(i);
+      if (unit_hash(cfg_.seed ^ kCrashStream, round + 1, n + 1) < cfg_.node_crash_rate) {
+        crash[static_cast<std::size_t>(i)] = 1;
+        crash_after[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(
+            std::floor(unit_hash(cfg_.seed ^ kCrashStream, round + 1, (n + 1) << 16) *
+                       static_cast<double>(assigned[static_cast<std::size_t>(i)])));
+        ++crashing;
+      }
+    }
+    // The fault class models partial loss, not a dead allocation: at
+    // least one eligible node always survives to absorb reroutes.
+    if (crashing == eligible.size()) crash[static_cast<std::size_t>(eligible.front())] = 0;
+  }
+
+  SimEngine engine;
+  net_.begin_round(&engine, cfg_.nodes + 1, &w);
+  net_.connect(coordinator_.id(), &coordinator_);
+
+  RequestCoordinator::RoundSetup cs;
+  cs.engine = &engine;
+  cs.net = &net_;
+  cs.cfg = &cfg_;
+  cs.win = &w;
+  cs.duration_s = &duration_s;
+  cs.eligible = eligible;
+  cs.queued_cost = queued_cost;
+  coordinator_.begin_round(std::move(cs));
+
+  // Every node joins the round -- a node with no workers this round
+  // (a narrow pool sliced over a wide allocation) still serves fetches
+  // from its replica; only eligible nodes receive task assignments.
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    NodeRuntime::RoundSetup ns;
+    ns.engine = &engine;
+    ns.net = &net_;
+    ns.cfg = &cfg_;
+    ns.win = &w;
+    ns.batch = &batch;
+    ns.duration_s = &duration_s;
+    ns.ok = &ok;
+    ns.locality = &locality;
+    ns.coordinator = coordinator_.id();
+    ns.dispatch_overhead_s = params.dispatch_overhead_s;
+    ns.workers = widths[static_cast<std::size_t>(i)];
+    ns.worker_speed = speed;
+    ns.crash = crash[static_cast<std::size_t>(i)] != 0;
+    ns.crash_after = crash_after[static_cast<std::size_t>(i)];
+    nodes_[static_cast<std::size_t>(i)]->begin_round(ns);
+    net_.connect(i, nodes_[static_cast<std::size_t>(i)].get());
+  }
+
+  // The coordinator serializes assignments after pool startup, one
+  // kTaskAssign per task in batch order.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Message assign;
+    assign.kind = MsgKind::kTaskAssign;
+    assign.src = coordinator_.id();
+    assign.dst = assignment[i];
+    assign.bytes = cfg_.control_message_bytes;
+    assign.task = i;
+    engine.schedule_at(params.startup_s + static_cast<double>(i) * cfg_.assign_stagger_s,
+                       [this, assign] { net_.send(assign); });
+  }
+
+  const double makespan = engine.run();
+  ++w.rounds;
+  w.tasks += static_cast<int>(batch.size());
+  w.makespan_s += makespan;
+}
+
+obs::DistTrace DistCluster::trace() const {
+  obs::DistTrace t;
+  t.topology = topology_name(cfg_.network.topology);
+  t.routing = routing_policy_name(cfg_.routing);
+  t.nodes = cfg_.nodes;
+  const auto to_window = [](const std::string& label, const WindowStats& w) {
+    obs::DistWindowTrace o;
+    o.label = label;
+    o.rounds = w.rounds;
+    o.tasks = w.tasks;
+    o.alt_tasks = w.alt_tasks;
+    o.messages = w.messages;
+    o.message_bytes = w.message_bytes;
+    o.network_s = w.network_s;
+    o.local_hits = w.local_hits;
+    o.migrations = w.migrations;
+    o.bytes_migrated = w.bytes_migrated;
+    o.recomputes = w.recomputes;
+    o.recompute_s = w.recompute_s;
+    o.invalidations = w.invalidations;
+    o.evictions = w.evictions;
+    o.bytes_evicted = w.bytes_evicted;
+    o.node_crashes = w.node_crashes;
+    o.tasks_rerouted = w.tasks_rerouted;
+    o.makespan_s = w.makespan_s;
+    return o;
+  };
+  t.totals = to_window("total", totals());
+  for (const auto& [label, w] : windows_) t.windows.push_back(to_window(label, w));
+  for (const auto& node : nodes_) {
+    const NodeStats& s = node->stats();
+    obs::DistNodeTrace n;
+    n.node = s.node;
+    n.workers = s.workers;
+    n.tasks = s.tasks;
+    n.busy_s = s.busy_s;
+    n.finish_s = s.finish_s;
+    n.local_hits = s.local_hits;
+    n.migrations_in = s.migrations_in;
+    n.migrations_out = s.migrations_out;
+    n.recomputes = s.recomputes;
+    n.evictions = s.evictions;
+    n.invalidations = s.invalidations;
+    n.bytes_in = s.bytes_in;
+    n.bytes_out = s.bytes_out;
+    n.crashes = s.crashes;
+    n.replica_entries = node->replica().size();
+    n.replica_bytes = node->replica().live_bytes();
+    t.node_spans.push_back(n);
+  }
+  return t;
+}
+
+// ------------------------------------------------------------------ //
+// DistributedExecutor.
+// ------------------------------------------------------------------ //
+
+DistributedExecutor::DistributedExecutor(SimulatedDataflowParams primary,
+                                         SimulatedDataflowParams alt, DistCluster* cluster)
+    : primary_(std::move(primary)), alt_(std::move(alt)), cluster_(cluster) {}
+
+DistributedExecutor DistributedExecutor::from_pools(DistCluster* cluster,
+                                                    const SimulatedDataflowParams& base,
+                                                    const WorkerPool& primary) {
+  SimulatedDataflowParams p = base;
+  p.workers = primary.workers();
+  if (primary.worker_speed != 1.0) {
+    p.worker_speed.assign(static_cast<std::size_t>(p.workers), primary.worker_speed);
+  }
+  SimulatedDataflowParams none;
+  none.workers = 0;
+  return DistributedExecutor(std::move(p), std::move(none), cluster);
+}
+
+DistributedExecutor DistributedExecutor::from_pools(DistCluster* cluster,
+                                                    const SimulatedDataflowParams& base,
+                                                    const WorkerPool& primary,
+                                                    const WorkerPool& alt) {
+  SimulatedDataflowParams a = base;
+  a.workers = alt.workers();
+  if (alt.worker_speed != 1.0) {
+    a.worker_speed.assign(static_cast<std::size_t>(a.workers), alt.worker_speed);
+  }
+  DistributedExecutor exec = from_pools(cluster, base, primary);
+  exec.alt_ = std::move(a);
+  return exec;
+}
+
+DataflowRunResult DistributedExecutor::run_batch(const std::vector<TaskSpec>& batch,
+                                                 const TaskFn& fn, const BatchEnv& env,
+                                                 std::vector<TaskSpec>& failed) {
+  // 1. Invoke the task function once per task in batch submission
+  //    order -- the exact order the canonical DES would -- so journal
+  //    rows, store calls, and fault accounting are byte-identical to
+  //    the single-process backends.
+  std::vector<TaskOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  for (const TaskSpec& t : batch) {
+    const TaskOutcome o = fn(t, env.attempt);
+    if (!o.ok) failed.push_back(t);
+    outcomes.push_back(o);
+  }
+
+  // 2. Canonical replay: parameter handling mirrors
+  //    SimulatedExecutor::run_batch exactly, durations come from the
+  //    cache in dispatch order (== batch order).
+  SimulatedDataflowParams params = env.pool == Pool::kAlt ? alt_ : primary_;
+  if (env.pool == Pool::kPrimary && env.workers_lost > 0) {
+    params.workers = std::max(1, params.workers - env.workers_lost);
+    if (!params.worker_speed.empty()) {
+      params.worker_speed.resize(static_cast<std::size_t>(params.workers));
+    }
+  }
+  params.startup_s += env.delay_s;
+  std::size_t pos = 0;
+  const auto duration = [&](const TaskSpec&) {
+    return outcomes[pos++].sim_duration_s * env.cost_scale;
+  };
+  DataflowRunResult res = run_simulated_dataflow(batch, duration, params);
+
+  // 3. The distributed pass: observability only, never billed into the
+  //    result (the store-pricing precedent).
+  if (cluster_ != nullptr) {
+    if (env.pool == Pool::kAlt) {
+      cluster_->note_alt_round(batch.size());
+    } else {
+      std::vector<double> dur(batch.size(), 0.0);
+      std::vector<char> ok(batch.size(), 1);
+      std::vector<TaskLocality> locality(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        dur[i] = outcomes[i].sim_duration_s * env.cost_scale;
+        ok[i] = outcomes[i].ok ? 1 : 0;
+        if (locality_) locality[i] = locality_(batch[i]);
+      }
+      cluster_->run_round(batch, dur, ok, locality, params);
+    }
+  }
+  return res;
+}
+
+}  // namespace sf::dist

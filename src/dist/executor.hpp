@@ -1,0 +1,130 @@
+// DistributedExecutor: the multi-node backend of sf::Executor.
+//
+// The paper's deployment spanned 1,000+ Summit nodes; this backend
+// makes that scale a first-class simulated object. A DistCluster owns
+// the persistent distributed state -- one StoreReplica per node, the
+// coordinator's coherence directory, per-window transfer counters --
+// and a DistributedExecutor is the per-stage facade that runs each
+// map() round through the coordinator/node/network simulation.
+//
+// Byte-identity contract (the tentpole invariant): campaign stdout,
+// journals, and canonical trace sections are byte-identical to the
+// SimulatedExecutor at ANY node count. run_batch() achieves this by
+// construction:
+//   1. The task function runs exactly once per task, in batch
+//      submission order -- the same order the canonical DES invokes it
+//      -- so every serial side effect (journal rows, store traffic,
+//      fault accounting) is untouched.
+//   2. The returned DataflowRunResult replays run_simulated_dataflow()
+//      on the cached durations with parameters handled exactly as
+//      SimulatedExecutor::run_batch does, so MapResult is bit-equal.
+//   3. The distributed pass (routing, fetches, coherence, crashes)
+//      consumes only the cached outcomes and feeds only observability:
+//      DistCluster counters, the sfDist trace section, stderr reports,
+//      and benchmarks. Like store staging prices, distributed time is
+//      measured, never billed into stage reports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/network_handler.hpp"
+#include "dist/node_runtime.hpp"
+#include "dist/types.hpp"
+#include "obs/trace.hpp"
+
+namespace sf::dist {
+
+// Persistent distributed state shared by every stage of a campaign.
+class DistCluster {
+ public:
+  explicit DistCluster(const DistConfig& cfg);
+
+  const DistConfig& config() const { return cfg_; }
+  int nodes() const { return cfg_.nodes; }
+
+  // Open a new stats window (one per stage, mirroring the artifact
+  // store's begin_stage). Counters accumulate into the current window.
+  void begin_window(const std::string& label);
+  const WindowStats& window_stats() const;  // current window
+  WindowStats totals() const;               // all windows merged
+  const std::vector<std::pair<std::string, WindowStats>>& windows() const { return windows_; }
+  std::vector<NodeStats> node_stats() const;
+  const RequestCoordinator& coordinator() const { return coordinator_; }
+  NodeRuntime& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+
+  // Simulate one primary-pool round: route, assign, fetch/recompute,
+  // run, produce. `duration_s` are the canonical modeled durations
+  // (cost-scaled), `ok` the canonical outcomes; neither is altered.
+  void run_round(const std::vector<TaskSpec>& batch, const std::vector<double>& duration_s,
+                 const std::vector<char>& ok, const std::vector<TaskLocality>& locality,
+                 const SimulatedDataflowParams& params);
+  // Alternate-pool rounds (e.g. the high-memory OOM rerun) are not
+  // distributed -- the alt pool is its own small allocation -- but are
+  // counted so windows account for every attempt.
+  void note_alt_round(std::size_t tasks);
+
+  // The sfDist trace section (obs mirror of windows + node spans).
+  obs::DistTrace trace() const;
+
+ private:
+  WindowStats& win();
+
+  DistConfig cfg_;
+  NetworkHandler net_;
+  RequestCoordinator coordinator_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<std::pair<std::string, WindowStats>> windows_;
+  std::uint64_t rounds_run_ = 0;
+};
+
+class DistributedExecutor final : public Executor {
+ public:
+  // `alt` with workers == 0 means "no alternate pool". The cluster
+  // outlives every stage facade built over it.
+  DistributedExecutor(SimulatedDataflowParams primary, SimulatedDataflowParams alt,
+                      DistCluster* cluster);
+
+  static DistributedExecutor from_pools(DistCluster* cluster, const SimulatedDataflowParams& base,
+                                        const WorkerPool& primary);
+  static DistributedExecutor from_pools(DistCluster* cluster, const SimulatedDataflowParams& base,
+                                        const WorkerPool& primary, const WorkerPool& alt);
+
+  const char* name() const override { return "distributed"; }
+  int workers() const override { return primary_.workers; }
+  int alt_workers() const override { return alt_.workers; }
+  bool modeled_time() const override { return true; }
+
+  // Stage drivers install a locality provider before their map() so the
+  // router and the coherence protocol see the stage's artifact flow;
+  // without one, tasks carry no needs/produces and routing degrades to
+  // load balancing.
+  void set_locality(LocalityProvider provider) { locality_ = std::move(provider); }
+  void clear_locality() { locality_ = nullptr; }
+
+  DistCluster* cluster() { return cluster_; }
+
+ protected:
+  DataflowRunResult run_batch(const std::vector<TaskSpec>& batch, const TaskFn& fn,
+                              const BatchEnv& env, std::vector<TaskSpec>& failed) override;
+
+ private:
+  SimulatedDataflowParams primary_;
+  SimulatedDataflowParams alt_;
+  DistCluster* cluster_;
+  LocalityProvider locality_;
+};
+
+// The distributed backend behind an Executor&, if that is what it is
+// (stage drivers use this to install locality providers without core
+// depending on which backend a campaign chose).
+inline DistributedExecutor* as_distributed(Executor& executor) {
+  return dynamic_cast<DistributedExecutor*>(&executor);
+}
+
+}  // namespace sf::dist

@@ -1,0 +1,253 @@
+#include "dist/node_runtime.hpp"
+
+#include <cassert>
+
+namespace sf::dist {
+
+void NodeRuntime::begin_round(const RoundSetup& setup) {
+  s_ = setup;
+  stats_.workers = setup.workers;
+  queue_.clear();
+  waiting_.clear();
+  flights_.assign(static_cast<std::size_t>(setup.workers), Flight{});
+  idle_.clear();
+  for (int w = 0; w < setup.workers; ++w) idle_.insert(w);
+  completed_ = 0;
+  dead_ = false;
+}
+
+void NodeRuntime::drain() {
+  Message msg;
+  while (inbox_.try_pop(msg)) handle(msg);
+}
+
+const ArtifactRef* NodeRuntime::need_ref(std::size_t task, const store::ArtifactKey& key) const {
+  for (const ArtifactRef& ref : (*s_.locality)[task].needs) {
+    if (ref.key == key) return &ref;
+  }
+  return nullptr;
+}
+
+void NodeRuntime::handle(const Message& msg) {
+  switch (msg.kind) {
+    case MsgKind::kTaskAssign: {
+      if (dead_) {
+        // Assigned after the drain-stop: bounce straight back.
+        Message ret;
+        ret.kind = MsgKind::kTaskReturn;
+        ret.src = id();
+        ret.dst = s_.coordinator;
+        ret.bytes = s_.cfg->control_message_bytes;
+        ret.task = msg.task;
+        s_.net->send(ret);
+        return;
+      }
+      queue_.push_back(msg.task);
+      try_dispatch();
+      return;
+    }
+    case MsgKind::kFetchForward: {
+      if (!replica_.contains(msg.key)) {
+        // The directory was stale (eviction or crash in flight): the
+        // requester recomputes, exactly as if nobody had held the key.
+        Message miss;
+        miss.kind = MsgKind::kFetchMiss;
+        miss.src = id();
+        miss.dst = msg.requester;
+        miss.bytes = s_.cfg->control_message_bytes;
+        miss.key = msg.key;
+        s_.net->send(miss);
+        return;
+      }
+      replica_.touch(msg.key);  // serving a copy is a use
+      ++stats_.migrations_out;
+      stats_.bytes_out += msg.artifact_bytes;
+      Message reply;
+      reply.kind = MsgKind::kFetchReply;
+      reply.src = id();
+      reply.dst = msg.requester;
+      reply.bytes = msg.artifact_bytes;  // the payload pays its bytes
+      reply.key = msg.key;
+      reply.artifact_bytes = msg.artifact_bytes;
+      const Message to_send = reply;
+      s_.engine->schedule_after(s_.cfg->fetch_serve_s,
+                                [net = s_.net, to_send] { net->send(to_send); });
+      return;
+    }
+    case MsgKind::kFetchReply: {
+      const auto wit = waiting_.find(msg.key);
+      assert(wit != waiting_.end() && !wit->second.empty());
+      const int worker = wit->second.front();
+      wit->second.pop_front();
+      if (wit->second.empty()) waiting_.erase(wit);
+      Flight& f = flights_[static_cast<std::size_t>(worker)];
+      ++stats_.migrations_in;
+      stats_.bytes_in += msg.artifact_bytes;
+      ++s_.win->migrations;
+      s_.win->bytes_migrated += msg.artifact_bytes;
+      if (!dead_) {
+        const ArtifactRef* ref = need_ref(f.task, msg.key);
+        assert(ref != nullptr);
+        insert_artifact(*ref, /*exclusive=*/false);
+      }
+      if (--f.pending_fetches == 0) start_run(worker);
+      return;
+    }
+    case MsgKind::kFetchMiss: {
+      const auto wit = waiting_.find(msg.key);
+      assert(wit != waiting_.end() && !wit->second.empty());
+      const int worker = wit->second.front();
+      wit->second.pop_front();
+      if (wit->second.empty()) waiting_.erase(wit);
+      Flight& f = flights_[static_cast<std::size_t>(worker)];
+      const ArtifactRef* ref = need_ref(f.task, msg.key);
+      assert(ref != nullptr);
+      f.extra_s += ref->recompute_s;
+      f.recomputed.push_back(*ref);
+      ++stats_.recomputes;
+      stats_.recompute_s += ref->recompute_s;
+      ++s_.win->recomputes;
+      s_.win->recompute_s += ref->recompute_s;
+      if (--f.pending_fetches == 0) start_run(worker);
+      return;
+    }
+    case MsgKind::kInvalidate: {
+      if (replica_.contains(msg.key)) {
+        replica_.erase(msg.key);
+        ++stats_.invalidations;
+        ++s_.win->invalidations;
+      }
+      return;
+    }
+    default:
+      assert(false && "message kind not addressed to a node");
+      return;
+  }
+}
+
+void NodeRuntime::try_dispatch() {
+  while (!queue_.empty() && !idle_.empty()) {
+    maybe_crash();
+    if (dead_) return;  // die() already drained the queue
+    const std::size_t task = queue_.front();
+    queue_.pop_front();
+    const int worker = *idle_.begin();
+    idle_.erase(idle_.begin());
+    Flight& f = flights_[static_cast<std::size_t>(worker)];
+    f.active = true;
+    f.task = task;
+    f.seized_s = s_.engine->now();
+    f.pending_fetches = 0;
+    f.extra_s = 0.0;
+    f.recomputed.clear();
+    for (const ArtifactRef& ref : (*s_.locality)[task].needs) {
+      if (replica_.contains(ref.key)) {
+        replica_.touch(ref.key);
+        ++stats_.local_hits;
+        ++s_.win->local_hits;
+        continue;
+      }
+      ++f.pending_fetches;
+      waiting_[ref.key].push_back(worker);
+      Message req;
+      req.kind = MsgKind::kFetchRequest;
+      req.src = id();
+      req.dst = s_.coordinator;
+      req.bytes = s_.cfg->control_message_bytes;
+      req.key = ref.key;
+      req.artifact_bytes = ref.bytes;
+      s_.net->send(req);
+    }
+    if (f.pending_fetches == 0) start_run(worker);
+  }
+}
+
+void NodeRuntime::start_run(int worker) {
+  const Flight& f = flights_[static_cast<std::size_t>(worker)];
+  const double speed = s_.worker_speed > 0.0 ? s_.worker_speed : 1.0;
+  // Same shape as the canonical DES: dispatch overhead, then modeled
+  // duration over worker speed -- plus the recompute surcharge for
+  // artifacts no replica could serve.
+  const double run_s =
+      s_.dispatch_overhead_s + ((*s_.duration_s)[f.task] + f.extra_s) / speed;
+  s_.engine->schedule_after(run_s, [this, worker] { complete(worker); });
+}
+
+void NodeRuntime::complete(int worker) {
+  Flight& f = flights_[static_cast<std::size_t>(worker)];
+  const double now = s_.engine->now();
+  ++stats_.tasks;
+  ++completed_;
+  stats_.busy_s += now - f.seized_s;
+  stats_.finish_s = now;
+  if ((*s_.ok)[f.task] && !dead_) {
+    for (const ArtifactRef& ref : f.recomputed) insert_artifact(ref, /*exclusive=*/true);
+    for (const ArtifactRef& ref : (*s_.locality)[f.task].produces) {
+      insert_artifact(ref, /*exclusive=*/true);
+    }
+  }
+  Message done;
+  done.kind = MsgKind::kTaskDone;
+  done.src = id();
+  done.dst = s_.coordinator;
+  done.bytes = s_.cfg->control_message_bytes;
+  done.task = f.task;
+  s_.net->send(done);
+  f.active = false;
+  idle_.insert(worker);
+  try_dispatch();
+}
+
+void NodeRuntime::insert_artifact(const ArtifactRef& ref, bool exclusive) {
+  const std::vector<StoreReplica::Evicted> evicted =
+      replica_.insert(ref.key, ref.bytes, ref.recompute_s);
+  for (const StoreReplica::Evicted& victim : evicted) {
+    ++stats_.evictions;
+    stats_.bytes_evicted += victim.bytes;
+    ++s_.win->evictions;
+    s_.win->bytes_evicted += victim.bytes;
+    Message ev;
+    ev.kind = MsgKind::kEvictNotice;
+    ev.src = id();
+    ev.dst = s_.coordinator;
+    ev.bytes = s_.cfg->control_message_bytes;
+    ev.key = victim.key;
+    s_.net->send(ev);
+  }
+  Message notice;
+  notice.kind = exclusive ? MsgKind::kPutNotice : MsgKind::kShareNotice;
+  notice.src = id();
+  notice.dst = s_.coordinator;
+  notice.bytes = s_.cfg->control_message_bytes;
+  notice.key = ref.key;
+  s_.net->send(notice);
+}
+
+void NodeRuntime::maybe_crash() {
+  if (!dead_ && s_.crash && completed_ >= s_.crash_after) die();
+}
+
+void NodeRuntime::die() {
+  dead_ = true;
+  ++stats_.crashes;
+  ++s_.win->node_crashes;
+  replica_.clear();
+  for (const std::size_t task : queue_) {
+    Message ret;
+    ret.kind = MsgKind::kTaskReturn;
+    ret.src = id();
+    ret.dst = s_.coordinator;
+    ret.bytes = s_.cfg->control_message_bytes;
+    ret.task = task;
+    s_.net->send(ret);
+  }
+  queue_.clear();
+  Message down;
+  down.kind = MsgKind::kNodeDown;
+  down.src = id();
+  down.dst = s_.coordinator;
+  down.bytes = s_.cfg->control_message_bytes;
+  s_.net->send(down);
+}
+
+}  // namespace sf::dist

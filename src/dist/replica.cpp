@@ -1,0 +1,88 @@
+#include "dist/replica.hpp"
+
+#include <limits>
+
+namespace sf::dist {
+
+bool StoreReplica::contains(const store::ArtifactKey& key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+void StoreReplica::touch(const store::ArtifactKey& key) {
+  if (policy_ != store::EvictionPolicy::kLru) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.tick = next_seq_++;
+}
+
+std::vector<StoreReplica::Evicted> StoreReplica::insert(const store::ArtifactKey& key,
+                                                        double bytes, double cost_s) {
+  auto& e = entries_[key];
+  live_bytes_ += bytes - e.bytes;
+  e.bytes = bytes;
+  e.cost_s = policy_ == store::EvictionPolicy::kCostAware ? cost_s : 0.0;
+  e.seq = next_seq_++;
+  e.tick = e.seq;
+
+  std::vector<Evicted> evicted;
+  if (capacity_bytes_ == 0) return evicted;
+  while (live_bytes_ > static_cast<double>(capacity_bytes_) && entries_.size() > 1) {
+    const store::ArtifactKey* victim = pick_victim(key);
+    if (victim == nullptr) break;
+    const auto it = entries_.find(*victim);
+    evicted.push_back({it->first, it->second.bytes});
+    live_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  return evicted;
+}
+
+void StoreReplica::erase(const store::ArtifactKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  live_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+void StoreReplica::clear() {
+  entries_.clear();
+  live_bytes_ = 0.0;
+}
+
+const store::ArtifactKey* StoreReplica::pick_victim(const store::ArtifactKey& keep) const {
+  const store::ArtifactKey* best_key = nullptr;
+  const Entry* best = nullptr;
+  for (const auto& [key, e] : entries_) {
+    if (key == keep) continue;
+    if (best == nullptr) {
+      best_key = &key;
+      best = &e;
+      continue;
+    }
+    bool better = false;
+    switch (policy_) {
+      case store::EvictionPolicy::kFifo:
+        better = e.seq < best->seq;
+        break;
+      case store::EvictionPolicy::kLru:
+        better = e.tick != best->tick ? e.tick < best->tick : e.seq < best->seq;
+        break;
+      case store::EvictionPolicy::kCostAware: {
+        const auto density = [](const Entry& x) {
+          if (x.bytes <= 0.0) return std::numeric_limits<double>::infinity();
+          return x.cost_s / x.bytes;
+        };
+        const double de = density(e);
+        const double db = density(*best);
+        better = de != db ? de < db : e.seq < best->seq;
+        break;
+      }
+    }
+    if (better) {
+      best_key = &key;
+      best = &e;
+    }
+  }
+  return best_key;
+}
+
+}  // namespace sf::dist

@@ -1,0 +1,73 @@
+// Per-node artifact-store replica.
+//
+// Each NodeRuntime owns one StoreReplica: an in-memory mirror of the
+// artifact store's placement bookkeeping (content-addressed keys,
+// modeled byte sizes, capacity-pressure eviction) without the payload
+// I/O -- the distributed layer models *where* artifacts live, while the
+// real ArtifactStore remains the campaign's single durable truth, so
+// its manifests stay byte-frozen at any node count.
+//
+// Eviction mirrors store::ArtifactStore exactly (the coherence
+// shadow-oracle test holds the two implementations together):
+//   kFifo      lowest insertion seq
+//   kLru       lowest recency tick, seq tie-break (touch on use)
+//   kCostAware lowest recompute-cost density, seq tie-break; zero-byte
+//              entries are never evicted
+// The just-inserted key is exempt, and eviction stops once the live set
+// fits (or only one entry remains).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "store/artifact_store.hpp"
+#include "store/key.hpp"
+
+namespace sf::dist {
+
+class StoreReplica {
+ public:
+  struct Entry {
+    double bytes = 0.0;
+    double cost_s = 0.0;      // modeled recompute seconds (cost-aware)
+    std::uint64_t seq = 0;    // insertion counter
+    std::uint64_t tick = 0;   // recency tick (== seq until touched)
+  };
+
+  struct Evicted {
+    store::ArtifactKey key;
+    double bytes = 0.0;
+  };
+
+  void configure(std::uint64_t capacity_bytes, store::EvictionPolicy policy) {
+    capacity_bytes_ = capacity_bytes;
+    policy_ = policy;
+  }
+
+  bool contains(const store::ArtifactKey& key) const;
+  // LRU recency bump; FIFO and cost-aware ignore recency (same
+  // policy-gating as ArtifactStore::get).
+  void touch(const store::ArtifactKey& key);
+  // Insert (or re-insert, refreshing seq) and evict back to capacity;
+  // victims are returned in eviction order so the caller can notify the
+  // coherence directory.
+  std::vector<Evicted> insert(const store::ArtifactKey& key, double bytes, double cost_s);
+  void erase(const store::ArtifactKey& key);
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  double live_bytes() const { return live_bytes_; }
+  store::EvictionPolicy policy() const { return policy_; }
+
+ private:
+  const store::ArtifactKey* pick_victim(const store::ArtifactKey& keep) const;
+
+  std::uint64_t capacity_bytes_ = 0;  // 0 = unbounded
+  store::EvictionPolicy policy_ = store::EvictionPolicy::kLru;
+  std::map<store::ArtifactKey, Entry> entries_;
+  double live_bytes_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace sf::dist

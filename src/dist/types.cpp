@@ -1,0 +1,47 @@
+#include "dist/types.hpp"
+
+namespace sf::dist {
+
+const char* routing_policy_name(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kLocality: return "locality";
+    case RoutingPolicy::kRandom: return "random";
+    case RoutingPolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+bool routing_policy_from_name(const std::string& name, RoutingPolicy& out) {
+  if (name == "locality") {
+    out = RoutingPolicy::kLocality;
+  } else if (name == "random") {
+    out = RoutingPolicy::kRandom;
+  } else if (name == "round-robin" || name == "roundrobin") {
+    out = RoutingPolicy::kRoundRobin;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void WindowStats::merge(const WindowStats& o) {
+  rounds += o.rounds;
+  tasks += o.tasks;
+  alt_tasks += o.alt_tasks;
+  messages += o.messages;
+  message_bytes += o.message_bytes;
+  network_s += o.network_s;
+  local_hits += o.local_hits;
+  migrations += o.migrations;
+  bytes_migrated += o.bytes_migrated;
+  recomputes += o.recomputes;
+  recompute_s += o.recompute_s;
+  invalidations += o.invalidations;
+  evictions += o.evictions;
+  bytes_evicted += o.bytes_evicted;
+  node_crashes += o.node_crashes;
+  tasks_rerouted += o.tasks_rerouted;
+  makespan_s += o.makespan_s;
+}
+
+}  // namespace sf::dist

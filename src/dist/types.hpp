@@ -1,0 +1,117 @@
+// Shared value types of the distributed executor: configuration,
+// routing policies, locality hints, and the counter blocks every actor
+// (coordinator, nodes, network) accumulates into.
+//
+// Determinism contract: everything here is plain data. All randomness
+// in the subsystem (network jitter, random routing, crash draws) comes
+// from stateless hashes of (seed, stable identifiers) -- never from
+// shared RNG state -- so an N-node simulation replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataflow/task.hpp"
+#include "sim/network.hpp"
+#include "store/artifact_store.hpp"
+#include "store/key.hpp"
+
+namespace sf::dist {
+
+// One artifact a task consumes or produces, with the modeled size and a
+// deterministic estimate of what rebuilding it from scratch costs. The
+// stage drivers supply these through a LocalityProvider; the scheduler
+// and the coherence protocol never inspect payloads, only refs.
+struct ArtifactRef {
+  store::ArtifactKey key;
+  double bytes = 0.0;
+  double recompute_s = 0.0;
+};
+
+struct TaskLocality {
+  std::vector<ArtifactRef> needs;
+  std::vector<ArtifactRef> produces;
+};
+
+// Invoked once per task after the task function ran, so data-dependent
+// sizes (e.g. MSA feature bytes) are already known.
+using LocalityProvider = std::function<TaskLocality(const TaskSpec&)>;
+
+enum class RoutingPolicy {
+  kLocality,    // max resident needed bytes; queued-cost, then id tie-break
+  kRandom,      // seeded hash of (seed, round, task id)
+  kRoundRobin,  // batch index modulo eligible nodes
+};
+
+const char* routing_policy_name(RoutingPolicy policy);
+bool routing_policy_from_name(const std::string& name, RoutingPolicy& out);
+
+struct DistConfig {
+  int nodes = 4;
+  NetworkModel network;
+  RoutingPolicy routing = RoutingPolicy::kLocality;
+  std::uint64_t seed = 0;
+  // Per-node replica placement budget (0 = unbounded) and its eviction
+  // policy -- same semantics as the artifact store's.
+  std::uint64_t replica_capacity_bytes = 0;
+  store::EvictionPolicy eviction = store::EvictionPolicy::kLru;
+  // Probability a node drain-stops during a round (the node-crash fault
+  // class): it finishes a deterministic prefix of its queue, returns
+  // the rest to the coordinator, and its replica is lost.
+  double node_crash_rate = 0.0;
+  double control_message_bytes = 256.0;  // protocol messages (non-payload)
+  double fetch_serve_s = 1e-4;           // holder-side lookup + serialize
+  double assign_stagger_s = 1e-3;        // coordinator serialization per assign
+  // Locality spill guard: if the locality-preferred node's queued cost
+  // exceeds spill_factor x the mean, route to the least-loaded node
+  // instead (locality must not starve the rest of the allocation).
+  double spill_factor = 4.0;
+};
+
+// Lifetime counters of one node (across every round the cluster ran).
+struct NodeStats {
+  int node = 0;
+  int workers = 0;  // width in the most recent round
+  int tasks = 0;
+  double busy_s = 0.0;
+  double finish_s = 0.0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t recomputes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  // kInvalidate messages honored
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  double bytes_evicted = 0.0;
+  double recompute_s = 0.0;
+  int crashes = 0;
+};
+
+// Counters of one stage window (bracketed by DistCluster::begin_window,
+// mirroring the artifact store's begin_stage stats windows).
+struct WindowStats {
+  int rounds = 0;
+  int tasks = 0;      // tasks routed through the cluster
+  int alt_tasks = 0;  // alternate-pool attempts (not distributed)
+  std::uint64_t messages = 0;
+  double message_bytes = 0.0;
+  double network_s = 0.0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t migrations = 0;
+  double bytes_migrated = 0.0;
+  std::uint64_t recomputes = 0;
+  double recompute_s = 0.0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;
+  double bytes_evicted = 0.0;
+  int node_crashes = 0;
+  int tasks_rerouted = 0;
+  double makespan_s = 0.0;  // summed round makespans
+
+  void merge(const WindowStats& o);
+};
+
+}  // namespace sf::dist

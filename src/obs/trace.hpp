@@ -179,6 +179,65 @@ struct ServiceTrace {
   std::vector<ServiceQueueSample> queue_depth;
 };
 
+// Per-node span of a distributed-executor run (src/dist): how much of
+// the campaign one node computed, and what the coherence protocol moved
+// through it. Mirrors (rather than includes) dist's stats types so obs
+// keeps its util-only dependency surface.
+struct DistNodeTrace {
+  int node = 0;
+  int workers = 0;
+  int tasks = 0;
+  double busy_s = 0.0;
+  double finish_s = 0.0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t recomputes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  int crashes = 0;
+  std::uint64_t replica_entries = 0;  // live replica snapshot at export
+  double replica_bytes = 0.0;
+};
+
+// Transfer/coherence counters of one distributed stage window.
+struct DistWindowTrace {
+  std::string label;
+  int rounds = 0;
+  int tasks = 0;
+  int alt_tasks = 0;
+  std::uint64_t messages = 0;
+  double message_bytes = 0.0;
+  double network_s = 0.0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t migrations = 0;
+  double bytes_migrated = 0.0;
+  std::uint64_t recomputes = 0;
+  double recompute_s = 0.0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;
+  double bytes_evicted = 0.0;
+  int node_crashes = 0;
+  int tasks_rerouted = 0;
+  double makespan_s = 0.0;
+};
+
+// The distributed-execution section of a trace ("sfDist"): topology and
+// routing configuration, per-stage-window counters, and per-node spans.
+// Present only when a campaign ran on the distributed backend; omitted
+// from the JSON when absent, so single-process traces keep the byte
+// image of builds that predate src/dist.
+struct DistTrace {
+  std::string topology;
+  std::string routing;
+  int nodes = 0;
+  DistWindowTrace totals;
+  std::vector<DistWindowTrace> windows;
+  std::vector<DistNodeTrace> node_spans;
+};
+
 // One stage's recorded trace: registration info, round structure, the
 // canonical spans, and the replayed pool busy-spans.
 struct StageTrace {

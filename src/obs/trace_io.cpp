@@ -36,8 +36,21 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+void render_dist_window(std::ostream& os, const DistWindowTrace& w) {
+  os << "{\"label\":\"" << json_escape(w.label) << "\",\"rounds\":" << w.rounds
+     << ",\"tasks\":" << w.tasks << ",\"altTasks\":" << w.alt_tasks
+     << ",\"messages\":" << w.messages << ",\"messageBytes\":" << num(w.message_bytes)
+     << ",\"networkS\":" << num(w.network_s) << ",\"localHits\":" << w.local_hits
+     << ",\"migrations\":" << w.migrations << ",\"bytesMigrated\":" << num(w.bytes_migrated)
+     << ",\"recomputes\":" << w.recomputes << ",\"recomputeS\":" << num(w.recompute_s)
+     << ",\"invalidations\":" << w.invalidations << ",\"evictions\":" << w.evictions
+     << ",\"bytesEvicted\":" << num(w.bytes_evicted) << ",\"nodeCrashes\":" << w.node_crashes
+     << ",\"tasksRerouted\":" << w.tasks_rerouted << ",\"makespanS\":" << num(w.makespan_s)
+     << '}';
+}
+
 void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& stages,
-                            const ServiceTrace* service) {
+                            const ServiceTrace* service, const DistTrace* dist) {
   os << "{\n\"traceEvents\": [";
   bool first = true;
   for (std::size_t si = 0; si < stages.size(); ++si) {
@@ -119,21 +132,50 @@ void render_chrome_trace_to(std::ostream& os, const std::vector<StageTrace>& sta
     }
     os << "]}";
   }
+  // The distributed-execution section likewise rides along only when a
+  // campaign ran on the distributed backend.
+  if (dist != nullptr) {
+    os << ",\n\"sfDist\": {\"version\":1,\"topology\":\"" << json_escape(dist->topology)
+       << "\",\"routing\":\"" << json_escape(dist->routing) << "\",\"nodes\":" << dist->nodes
+       << ",\"totals\":";
+    render_dist_window(os, dist->totals);
+    os << ",\"windows\":[";
+    for (std::size_t i = 0; i < dist->windows.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '\n';
+      render_dist_window(os, dist->windows[i]);
+    }
+    os << "\n],\"nodeSpans\":[";
+    for (std::size_t i = 0; i < dist->node_spans.size(); ++i) {
+      const DistNodeTrace& n = dist->node_spans[i];
+      if (i > 0) os << ',';
+      os << "\n{\"node\":" << n.node << ",\"workers\":" << n.workers << ",\"tasks\":" << n.tasks
+         << ",\"busyS\":" << num(n.busy_s) << ",\"finishS\":" << num(n.finish_s)
+         << ",\"localHits\":" << n.local_hits << ",\"migrationsIn\":" << n.migrations_in
+         << ",\"migrationsOut\":" << n.migrations_out << ",\"recomputes\":" << n.recomputes
+         << ",\"evictions\":" << n.evictions << ",\"invalidations\":" << n.invalidations
+         << ",\"bytesIn\":" << num(n.bytes_in) << ",\"bytesOut\":" << num(n.bytes_out)
+         << ",\"crashes\":" << n.crashes << ",\"replicaEntries\":" << n.replica_entries
+         << ",\"replicaBytes\":" << num(n.replica_bytes) << '}';
+    }
+    os << "\n]}";
+  }
   os << "\n}\n";
 }
 
 }  // namespace
 
 std::string render_chrome_trace(const std::vector<StageTrace>& stages,
-                                const ServiceTrace* service) {
+                                const ServiceTrace* service, const DistTrace* dist) {
   std::ostringstream os;
-  render_chrome_trace_to(os, stages, service);
+  render_chrome_trace_to(os, stages, service, dist);
   return os.str();
 }
 
 void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages,
-                             const ServiceTrace* service) {
-  write_file_atomic(path, [&](std::ostream& os) { render_chrome_trace_to(os, stages, service); });
+                             const ServiceTrace* service, const DistTrace* dist) {
+  write_file_atomic(path,
+                    [&](std::ostream& os) { render_chrome_trace_to(os, stages, service, dist); });
 }
 
 std::string render_spans_csv(const std::vector<StageTrace>& stages) {
@@ -336,10 +378,39 @@ class JsonParser {
 
 }  // namespace
 
+namespace {
+
+DistWindowTrace parse_dist_window(const JsonValue& v) {
+  DistWindowTrace w;
+  w.label = v.str_or("label", "");
+  w.rounds = static_cast<int>(v.num_or("rounds", 0));
+  w.tasks = static_cast<int>(v.num_or("tasks", 0));
+  w.alt_tasks = static_cast<int>(v.num_or("altTasks", 0));
+  w.messages = static_cast<std::uint64_t>(v.num_or("messages", 0));
+  w.message_bytes = v.num_or("messageBytes", 0.0);
+  w.network_s = v.num_or("networkS", 0.0);
+  w.local_hits = static_cast<std::uint64_t>(v.num_or("localHits", 0));
+  w.migrations = static_cast<std::uint64_t>(v.num_or("migrations", 0));
+  w.bytes_migrated = v.num_or("bytesMigrated", 0.0);
+  w.recomputes = static_cast<std::uint64_t>(v.num_or("recomputes", 0));
+  w.recompute_s = v.num_or("recomputeS", 0.0);
+  w.invalidations = static_cast<std::uint64_t>(v.num_or("invalidations", 0));
+  w.evictions = static_cast<std::uint64_t>(v.num_or("evictions", 0));
+  w.bytes_evicted = v.num_or("bytesEvicted", 0.0);
+  w.node_crashes = static_cast<int>(v.num_or("nodeCrashes", 0));
+  w.tasks_rerouted = static_cast<int>(v.num_or("tasksRerouted", 0));
+  w.makespan_s = v.num_or("makespanS", 0.0);
+  return w;
+}
+
+}  // namespace
+
 bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* error) {
   out.stages.clear();
   out.service = ServiceTrace{};
   out.has_service = false;
+  out.dist = DistTrace{};
+  out.has_dist = false;
   std::string err;
   JsonValue root;
   if (!JsonParser(json).parse(root, err)) {
@@ -444,6 +515,40 @@ bool parse_chrome_trace(const std::string& json, TraceDoc& out, std::string* err
       for (const JsonValue& q : depth->arr) {
         out.service.queue_depth.push_back(
             {q.num_or("timeS", 0.0), static_cast<int>(q.num_or("depth", 0))});
+      }
+    }
+  }
+  if (const JsonValue* dist = root.get("sfDist"); dist != nullptr) {
+    out.has_dist = true;
+    out.dist.topology = dist->str_or("topology", "?");
+    out.dist.routing = dist->str_or("routing", "?");
+    out.dist.nodes = static_cast<int>(dist->num_or("nodes", 0));
+    if (const JsonValue* totals = dist->get("totals"); totals != nullptr) {
+      out.dist.totals = parse_dist_window(*totals);
+    }
+    if (const JsonValue* windows = dist->get("windows"); windows != nullptr) {
+      for (const JsonValue& w : windows->arr) out.dist.windows.push_back(parse_dist_window(w));
+    }
+    if (const JsonValue* spans = dist->get("nodeSpans"); spans != nullptr) {
+      for (const JsonValue& v : spans->arr) {
+        DistNodeTrace n;
+        n.node = static_cast<int>(v.num_or("node", 0));
+        n.workers = static_cast<int>(v.num_or("workers", 0));
+        n.tasks = static_cast<int>(v.num_or("tasks", 0));
+        n.busy_s = v.num_or("busyS", 0.0);
+        n.finish_s = v.num_or("finishS", 0.0);
+        n.local_hits = static_cast<std::uint64_t>(v.num_or("localHits", 0));
+        n.migrations_in = static_cast<std::uint64_t>(v.num_or("migrationsIn", 0));
+        n.migrations_out = static_cast<std::uint64_t>(v.num_or("migrationsOut", 0));
+        n.recomputes = static_cast<std::uint64_t>(v.num_or("recomputes", 0));
+        n.evictions = static_cast<std::uint64_t>(v.num_or("evictions", 0));
+        n.invalidations = static_cast<std::uint64_t>(v.num_or("invalidations", 0));
+        n.bytes_in = v.num_or("bytesIn", 0.0);
+        n.bytes_out = v.num_or("bytesOut", 0.0);
+        n.crashes = static_cast<int>(v.num_or("crashes", 0));
+        n.replica_entries = static_cast<std::uint64_t>(v.num_or("replicaEntries", 0));
+        n.replica_bytes = v.num_or("replicaBytes", 0.0);
+        out.dist.node_spans.push_back(n);
       }
     }
   }

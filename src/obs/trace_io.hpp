@@ -31,15 +31,21 @@ struct TraceDoc {
   // existed.
   ServiceTrace service;
   bool has_service = false;
+  // Distributed-execution section; absent (has_dist == false) for
+  // single-process campaigns and for traces written before src/dist.
+  DistTrace dist;
+  bool has_dist = false;
 };
 
 // Chrome trace-event JSON. `service` adds the optional "sfService"
-// section; passing nullptr (or omitting it) keeps the historical byte
-// image exactly.
+// section and `dist` the optional "sfDist" section; passing nullptr
+// (or omitting them) keeps the historical byte image exactly.
 std::string render_chrome_trace(const std::vector<StageTrace>& stages,
-                                const ServiceTrace* service = nullptr);
+                                const ServiceTrace* service = nullptr,
+                                const DistTrace* dist = nullptr);
 void write_chrome_trace_file(const std::string& path, const std::vector<StageTrace>& stages,
-                             const ServiceTrace* service = nullptr);
+                             const ServiceTrace* service = nullptr,
+                             const DistTrace* dist = nullptr);
 
 // Flat spans CSV: stage,task_id,name,attempt,pool,worker,fault,ok,begin_s,end_s.
 std::string render_spans_csv(const std::vector<StageTrace>& stages);

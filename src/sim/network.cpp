@@ -1,0 +1,60 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sf {
+
+const char* topology_name(Topology topology) {
+  switch (topology) {
+    case Topology::kFatTree: return "fat-tree";
+    case Topology::kRing: return "ring";
+  }
+  return "?";
+}
+
+bool topology_from_name(const std::string& name, Topology& out) {
+  if (name == "fat-tree" || name == "fattree") {
+    out = Topology::kFatTree;
+    return true;
+  }
+  if (name == "ring") {
+    out = Topology::kRing;
+    return true;
+  }
+  return false;
+}
+
+int NetworkModel::hops(int from, int to, int n) const {
+  if (from == to || n <= 1) return 0;
+  switch (topology) {
+    case Topology::kFatTree: {
+      const int pod = std::max(1, pod_size);
+      return from / pod == to / pod ? 2 : 4;
+    }
+    case Topology::kRing: {
+      const int d = std::abs(from - to);
+      return std::min(d, n - d);
+    }
+  }
+  return 0;
+}
+
+double NetworkModel::message_seconds(int from, int to, int n, double payload_bytes) const {
+  const int h = hops(from, to, n);
+  if (h == 0) return 0.0;  // node-local delivery
+  const double wire = base_latency_s + per_hop_latency_s * static_cast<double>(h);
+  // Unit-interval hash of (seed, src, dst): the same pair always takes
+  // the same equal-cost path, so its jitter never changes.
+  const std::uint64_t pair =
+      mix64(seed, mix64(static_cast<std::uint64_t>(from) + 1,
+                        (static_cast<std::uint64_t>(to) + 1) * 0x9E3779B97F4A7C15ULL));
+  const double unit = static_cast<double>(pair >> 11) * 0x1.0p-53;
+  const double dilated = wire * (1.0 + jitter_fraction * unit);
+  const double bw = bandwidth_bytes_per_s > 0.0 ? bandwidth_bytes_per_s : 1.0;
+  return dilated + std::max(0.0, payload_bytes) / bw;
+}
+
+}  // namespace sf

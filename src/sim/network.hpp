@@ -1,0 +1,52 @@
+// Interconnect pricing for the distributed executor (src/dist).
+//
+// Summit's nodes talk over a fat-tree EDR InfiniBand fabric; the
+// distributed campaign simulation prices every coordinator/node and
+// node/node message through this model. Determinism contract: a
+// message's latency is a pure function of (model seed, topology,
+// endpoints, payload bytes) -- never of delivery order, queue state, or
+// wall clock -- so an N-node run replays bit-identically however the
+// event queue interleaves.
+//
+// Two topologies are modeled:
+//   kFatTree -- nodes grouped into pods of `pod_size`; 2 switch hops
+//               within a pod, 4 across pods (leaf-spine round trip).
+//   kRing    -- hop count is ring distance; the pathological layout
+//               used by the locality-routing ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sf {
+
+enum class Topology { kFatTree, kRing };
+
+const char* topology_name(Topology topology);
+bool topology_from_name(const std::string& name, Topology& out);
+
+struct NetworkModel {
+  Topology topology = Topology::kFatTree;
+  int pod_size = 18;  // Summit racks hold 18 nodes per leaf switch
+
+  double base_latency_s = 1.5e-6;     // NIC injection + first switch port
+  double per_hop_latency_s = 0.4e-6;  // per additional switch traversal
+  double bandwidth_bytes_per_s = 12.5e9;  // EDR IB, ~100 Gb/s per port
+
+  // Deterministic pseudo-jitter: adaptive routing spreads a flow over
+  // equal-cost paths, so two (src, dst) pairs at the same hop count see
+  // slightly different latency. The dilation factor is a hash of
+  // (seed, src, dst) -- reproducible, never drawn from shared RNG state.
+  double jitter_fraction = 0.10;
+  std::uint64_t seed = 0;
+
+  // Switch hops between two nodes of an `n`-node allocation (0 for
+  // self-sends: a local "message" never touches the fabric).
+  int hops(int from, int to, int n) const;
+
+  // End-to-end seconds for one `payload_bytes` message from `from` to
+  // `to`: (base + hops * per_hop) * (1 + jitter) + bytes / bandwidth.
+  double message_seconds(int from, int to, int n, double payload_bytes) const;
+};
+
+}  // namespace sf

@@ -1,0 +1,20 @@
+// C1 fixture: the impure-task-lambda patterns inside the dist module --
+// the closure-purity rule follows task functions into the distributed
+// subsystem (coordinator/node callbacks are TaskFns too).
+#include <vector>
+
+void run_dist_c1(std::vector<double>& acc, double acc_total, Ctx& ctx) {
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    TaskOutcome o;
+    acc.push_back(o.sim_duration_s);
+    acc_total += o.sim_duration_s;
+    ctx.store->put(t.id);
+    return o;
+  };
+  const TaskFn worker = [=](const TaskSpec& t, const TaskAttempt&) mutable {
+    TaskOutcome o;
+    return o;
+  };
+  (void)fn;
+  (void)worker;
+}

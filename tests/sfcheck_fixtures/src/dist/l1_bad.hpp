@@ -1,0 +1,3 @@
+// sfcheck fixture: L1 violation (dist reaching up into core).
+#pragma once
+#include "core/pipeline.hpp"

@@ -1,0 +1,9 @@
+// R1 fixture: a dist-module task function reads the wall clock through
+// the sanctioned shim. Message latencies must be pure functions of
+// (seed, topology, payload); the taint rule must reach the new module.
+void run_dist_r1() {
+  const TaskFn fn = [&](const TaskSpec& t, const TaskAttempt&) {
+    return wallclock_now();
+  };
+  (void)fn;
+}

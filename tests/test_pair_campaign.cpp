@@ -177,6 +177,64 @@ TEST(PairCampaign, EnumeratePairsIsCanonicalAndTruncates) {
   EXPECT_TRUE(PairCampaign::enumerate_pairs(0, 0).empty());
 }
 
+TEST(PairCampaign, TiledOrderIsAStableBlockedPermutation) {
+  const auto pairs = PairCampaign::enumerate_pairs(6, 0);  // 15 pairs
+  // tile == 0: identity, the canonical i-major order untouched.
+  const auto identity = PairCampaign::tiled_order(pairs, 0);
+  for (std::size_t k = 0; k < identity.size(); ++k) EXPECT_EQ(identity[k], k);
+  // A tile wider than the chain set is also the identity.
+  EXPECT_EQ(PairCampaign::tiled_order(pairs, 64), identity);
+
+  const auto blocked = PairCampaign::tiled_order(pairs, 2);
+  // A permutation: every canonical index appears exactly once.
+  std::vector<std::size_t> sorted = blocked;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, identity);
+  // Visit order is non-decreasing in (a/tile, b/tile), and canonical
+  // order is preserved inside each block pair (stable sort).
+  for (std::size_t k = 1; k < blocked.size(); ++k) {
+    const auto& prev = pairs[blocked[k - 1]];
+    const auto& cur = pairs[blocked[k]];
+    const auto prev_block = std::make_pair(prev.first / 2, prev.second / 2);
+    const auto cur_block = std::make_pair(cur.first / 2, cur.second / 2);
+    EXPECT_LE(prev_block, cur_block);
+    if (prev_block == cur_block) EXPECT_LT(blocked[k - 1], blocked[k]);
+  }
+  // Block (0,1) pairs -- (0,2) (0,3) (1,2) (1,3) -- are visited
+  // together, right after the diagonal block (0,0)'s single pair (0,1).
+  ASSERT_GE(blocked.size(), 5u);
+  EXPECT_EQ(pairs[blocked[0]], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(pairs[blocked[1]], (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(pairs[blocked[2]], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(pairs[blocked[3]], (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(pairs[blocked[4]], (std::pair<std::size_t, std::size_t>{1, 3}));
+}
+
+TEST(PairCampaign, TiledEnumerationKeepsEveryReportByte) {
+  FoldUniverse universe(40, 31);
+  const auto records = sample_records(8);
+  const PipelineConfig cfg = chaos_pair_cfg();  // faults on: the hard case
+  const PairCampaign canonical(universe, cfg);
+  const PairCampaignReport baseline = canonical.run(records);
+
+  for (const std::size_t tile : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    SCOPED_TRACE("tile " + std::to_string(tile));
+    PairCampaignConfig pc;
+    pc.tile = tile;
+    const PairCampaign tiled(universe, cfg, pc);
+    // Same pairs, same scores, same aggregates, same node-hours -- the
+    // visit order is invisible in the report, down to the byte.
+    expect_pair_report_eq(baseline, tiled.run(records));
+    // But it IS a different campaign identity: a journal written under
+    // one tiling must not be replayed under another.
+    EXPECT_NE(pair_campaign_fingerprint(cfg, records, pc),
+              pair_campaign_fingerprint(cfg, records, PairCampaignConfig{}));
+  }
+  // tile == 0 is the canonical campaign, fingerprint included.
+  EXPECT_EQ(pair_campaign_fingerprint(cfg, records, PairCampaignConfig{}),
+            pair_campaign_fingerprint(cfg, records, {}));
+}
+
 // ------------------------------------------------------------------ //
 // Determinism: backends, thread counts, reruns, stores.
 // ------------------------------------------------------------------ //

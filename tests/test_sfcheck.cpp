@@ -201,6 +201,48 @@ TEST(Sfcheck, L1AllowsStoreDownwardAndCoreToIncludeStore) {
   EXPECT_TRUE(r.diagnostics.empty());
 }
 
+TEST(Sfcheck, L1CoversDistModule) {
+  const auto r = scan({"src/dist/l1_bad.hpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/dist/l1_bad.hpp", 3, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("'dist'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("'core'"), std::string::npos);
+}
+
+TEST(Sfcheck, L1RanksDistAboveDataflowAndBelowCore) {
+  // dist composes the rank-3 machinery (dataflow, store) over the rank-2
+  // simulation; core sits above and may include it.
+  SourceFile dist_cpp{"src/dist/executor.cpp",
+                      "#include \"dataflow/executor.hpp\"\n#include \"store/key.hpp\"\n"
+                      "#include \"sim/network.hpp\"\n#include \"obs/trace.hpp\"\n"};
+  SourceFile core_cpp{"src/core/stage_context.cpp", "#include \"dist/executor.hpp\"\n"};
+  const auto ok = sf::lint::run({dist_cpp, core_cpp}, Config::project_default());
+  EXPECT_TRUE(ok.diagnostics.empty());
+  // The reverse edge -- dataflow reaching up into dist -- is a violation.
+  SourceFile dataflow_bad{"src/dataflow/simulated.cpp", "#include \"dist/types.hpp\"\n"};
+  const auto r = sf::lint::run({dataflow_bad}, Config::project_default());
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "L1");
+  EXPECT_NE(r.diagnostics[0].message.find("'dataflow'"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("'dist'"), std::string::npos);
+}
+
+TEST(Sfcheck, C1CoversDistModule) {
+  const auto r = scan({"src/dist/c1_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 4u);
+  expect_diag(r, 0, "src/dist/c1_bad.cpp", 7, "C1");
+  expect_diag(r, 1, "src/dist/c1_bad.cpp", 7, "C1");
+  expect_diag(r, 2, "src/dist/c1_bad.cpp", 7, "C1");
+  expect_diag(r, 3, "src/dist/c1_bad.cpp", 14, "C1");
+}
+
+TEST(Sfcheck, R1CoversDistModule) {
+  const auto r = scan({"src/dist/r1_bad.cpp"});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  expect_diag(r, 0, "src/dist/r1_bad.cpp", 5, "R1");
+  EXPECT_NE(r.diagnostics[0].message.find("fn -> wallclock_now()"), std::string::npos);
+}
+
 TEST(Sfcheck, D3CoversStoreModule) {
   const auto r = scan({"src/store/d3_bad.cpp"});
   ASSERT_EQ(r.diagnostics.size(), 1u);
@@ -277,15 +319,16 @@ TEST(Sfcheck, WholeFixtureTreeCounts) {
       "src/core/d3_good.cpp", "src/core/d4_bad.cpp", "src/core/d4_good.cpp",
       "src/core/r1_entry.cpp", "src/core/r1_mid.cpp", "src/core/strings_ok.cpp",
       "src/core/suppress_noreason.cpp", "src/core/suppress_ok.cpp",
+      "src/dist/c1_bad.cpp", "src/dist/l1_bad.hpp", "src/dist/r1_bad.cpp",
       "src/fold/cycle_a.hpp", "src/fold/l1_good.cpp", "src/geom/d3_unscoped.cpp",
       "src/geom/r1_sink.cpp", "src/obs/d3_bad.cpp", "src/obs/d5_bad.cpp",
       "src/obs/d5_good.cpp", "src/obs/l1_bad.hpp", "src/sim/cycle_b.hpp",
       "src/store/d3_bad.cpp", "src/store/l1_bad.hpp", "tools/sftrace/d4_bad.cpp",
       "tools/sftrace/l1_bad.cpp",
   });
-  // 3 D1 + 3 D2 + 5 D3 + 3 D4 + 4 D5 + 1 SUP + 4 L1 includes + 1 L1
-  // cycle + 1 R1 + 4 C1.
-  EXPECT_EQ(r.diagnostics.size(), 29u);
+  // 3 D1 + 3 D2 + 5 D3 + 3 D4 + 4 D5 + 1 SUP + 5 L1 includes + 1 L1
+  // cycle + 2 R1 + 8 C1.
+  EXPECT_EQ(r.diagnostics.size(), 35u);
   EXPECT_EQ(r.suppressed.size(), 1u);
   // Ordered by (file, line, rule): the include-graph cycle sorts first.
   EXPECT_EQ(r.diagnostics[0].file, "(include-graph)");

@@ -231,12 +231,14 @@ Config Config::project_default() {
       {"geom", 2}, {"relax", 2}, {"score", 2}, {"seqsearch", 2}, {"fold", 2}, {"sim", 2},
       {"obs", 2}, {"native", 2},
       {"dataflow", 3}, {"analysis", 3}, {"sftrace", 3}, {"store", 3},
-      {"core", 4},
+      {"dist", 4},
+      {"core", 5},
   };
   // examples/ is a pseudo-module: the CLIs' stdout reports are replay
   // artifacts too, so the order-determinism rule covers them.
   cfg.d3_modules = {"core", "dataflow", "util",  "seqsearch",
-                    "obs",  "sftrace",  "store", "examples"};
+                    "obs",  "sftrace",  "store", "dist",
+                    "examples"};
   // The store's manifest appender shares the journal's torn-write
   // discipline (end-sealed lines + compact-on-open), so it carries the
   // same D4 exemption.
@@ -246,7 +248,7 @@ Config Config::project_default() {
   // D5 scope is narrower than D3's: examples/ emit printf tables with
   // explicit precision everywhere and stay exempt from the
   // canonical-formatter requirement.
-  cfg.d5_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace", "store"};
+  cfg.d5_modules = {"core", "dataflow", "util", "seqsearch", "obs", "sftrace", "store", "dist"};
   cfg.fmt_home = "src/util/string_util";
   cfg.task_fn_types = {"TaskFn"};
   cfg.task_entry_calls = {"map"};

@@ -95,6 +95,38 @@ void summarize_service(const obs::ServiceTrace& service, std::ostream& out) {
   }
 }
 
+void summarize_dist(const obs::DistTrace& dist, std::ostream& out) {
+  const obs::DistWindowTrace& t = dist.totals;
+  out << format("dist nodes %d topology %s routing %s\n", dist.nodes, dist.topology.c_str(),
+                dist.routing.c_str());
+  out << format("  rounds %d, tasks %d (+%d alt-pool), rerouted %d, node crashes %d\n", t.rounds,
+                t.tasks, t.alt_tasks, t.tasks_rerouted, t.node_crashes);
+  out << format("  messages %llu (%.0f B) over %s on the wire\n",
+                (unsigned long long)t.messages, t.message_bytes, dur(t.network_s).c_str());
+  out << format("  replica traffic: %llu local hit(s), %llu migration(s) (%.0f B), "
+                "%llu recompute(s) (%s)\n",
+                (unsigned long long)t.local_hits, (unsigned long long)t.migrations,
+                t.bytes_migrated, (unsigned long long)t.recomputes, dur(t.recompute_s).c_str());
+  out << format("  coherence: %llu invalidation(s), %llu eviction(s) (%.0f B)\n",
+                (unsigned long long)t.invalidations, (unsigned long long)t.evictions,
+                t.bytes_evicted);
+  out << format("  distributed makespan %s\n", dur(t.makespan_s).c_str());
+  for (const obs::DistWindowTrace& w : dist.windows) {
+    out << format("  window %-14s tasks %5d  hits %llu  migr %llu (%.0f B)  recomp %llu  "
+                  "makespan %s\n",
+                  w.label.c_str(), w.tasks, (unsigned long long)w.local_hits,
+                  (unsigned long long)w.migrations, w.bytes_migrated,
+                  (unsigned long long)w.recomputes, dur(w.makespan_s).c_str());
+  }
+  for (const obs::DistNodeTrace& n : dist.node_spans) {
+    out << format("  node %3d: %d worker(s), %d task(s), busy %s%s, replica %llu obj "
+                  "(%.0f B), in %.0f B out %.0f B\n",
+                  n.node, n.workers, n.tasks, dur(n.busy_s).c_str(),
+                  n.crashes > 0 ? " [crashed]" : "", (unsigned long long)n.replica_entries,
+                  n.replica_bytes, n.bytes_in, n.bytes_out);
+  }
+}
+
 }  // namespace
 
 void run_summarize(const obs::TraceDoc& doc, std::ostream& out) {
@@ -102,6 +134,10 @@ void run_summarize(const obs::TraceDoc& doc, std::ostream& out) {
   if (doc.has_service) {
     out << '\n';
     summarize_service(doc.service, out);
+  }
+  if (doc.has_dist) {
+    out << '\n';
+    summarize_dist(doc.dist, out);
   }
   for (const auto& st : doc.stages) {
     out << '\n';
@@ -235,6 +271,52 @@ bool run_diff(const obs::TraceDoc& a, const obs::TraceDoc& b, std::ostream& out)
     if (req_drift > 5) out << format("service: ... %d more drifted request(s)\n", req_drift - 5);
     if (req_drift > 0) service_drift = true;
     if (service_drift) drift = true;
+  }
+  if (a.has_dist != b.has_dist) {
+    out << format("dist section: %s vs %s\n", a.has_dist ? "present" : "absent",
+                  b.has_dist ? "present" : "absent");
+    drift = true;
+  } else if (a.has_dist) {
+    const obs::DistTrace& da = a.dist;
+    const obs::DistTrace& db = b.dist;
+    bool dist_drift = false;
+    if (da.topology != db.topology || da.routing != db.routing || da.nodes != db.nodes) {
+      out << format("dist: %s/%s/%d node(s) vs %s/%s/%d node(s)\n", da.topology.c_str(),
+                    da.routing.c_str(), da.nodes, db.topology.c_str(), db.routing.c_str(),
+                    db.nodes);
+      dist_drift = true;
+    }
+    const obs::DistWindowTrace& ta = da.totals;
+    const obs::DistWindowTrace& tb = db.totals;
+    if (ta.tasks != tb.tasks || ta.messages != tb.messages ||
+        ta.message_bytes != tb.message_bytes || ta.local_hits != tb.local_hits ||
+        ta.migrations != tb.migrations || ta.bytes_migrated != tb.bytes_migrated ||
+        ta.recomputes != tb.recomputes || ta.invalidations != tb.invalidations ||
+        ta.evictions != tb.evictions || ta.node_crashes != tb.node_crashes ||
+        ta.tasks_rerouted != tb.tasks_rerouted || ta.makespan_s != tb.makespan_s) {
+      out << format("dist: totals drifted\n");
+      out << format("  a: tasks %d msgs %llu hits %llu migr %llu (%.0f B) recomp %llu "
+                    "inval %llu evict %llu crash %llu reroute %llu makespan %.9gs\n",
+                    ta.tasks, (unsigned long long)ta.messages, (unsigned long long)ta.local_hits,
+                    (unsigned long long)ta.migrations, ta.bytes_migrated,
+                    (unsigned long long)ta.recomputes, (unsigned long long)ta.invalidations,
+                    (unsigned long long)ta.evictions, (unsigned long long)ta.node_crashes,
+                    (unsigned long long)ta.tasks_rerouted, ta.makespan_s);
+      out << format("  b: tasks %d msgs %llu hits %llu migr %llu (%.0f B) recomp %llu "
+                    "inval %llu evict %llu crash %llu reroute %llu makespan %.9gs\n",
+                    tb.tasks, (unsigned long long)tb.messages, (unsigned long long)tb.local_hits,
+                    (unsigned long long)tb.migrations, tb.bytes_migrated,
+                    (unsigned long long)tb.recomputes, (unsigned long long)tb.invalidations,
+                    (unsigned long long)tb.evictions, (unsigned long long)tb.node_crashes,
+                    (unsigned long long)tb.tasks_rerouted, tb.makespan_s);
+      dist_drift = true;
+    }
+    if (da.node_spans.size() != db.node_spans.size()) {
+      out << format("dist: node span count %zu vs %zu\n", da.node_spans.size(),
+                    db.node_spans.size());
+      dist_drift = true;
+    }
+    if (dist_drift) drift = true;
   }
   if (!drift) out << "traces identical\n";
   return drift;
